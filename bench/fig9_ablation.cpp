@@ -1,0 +1,39 @@
+// Figure 9 reproduction: "The impact of optimizations in the enqueue-dequeue
+// benchmark" — the four wait-free variants:
+//
+//   base WF       (help all + phase by state scan)
+//   opt WF (1)    (help one, cyclic + phase by state scan)
+//   opt WF (2)    (help all + atomic phase counter)
+//   opt WF (1+2)  (both)
+//
+// Expected shape (paper): the gain comes mainly from optimization 1 — the
+// modified helping rule prevents all threads from piling onto the same slow
+// peer; optimization 2's impact is minor but grows with the thread count.
+//
+// Flags: --threads N | --full, --iters N, --reps N, --pin, --csv.
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "core/wf_queue.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpq;
+  using namespace kpq::bench;
+
+  bench_params p = parse_params(argc, argv, /*default_iters=*/20000);
+
+  figure fig("Figure 9: optimization ablation, enqueue-dequeue pairs", p);
+  fig.add_series("base WF");
+  fig.add_series("opt WF (1)");
+  fig.add_series("opt WF (2)");
+  fig.add_series("opt WF (1+2)");
+
+  for (std::uint32_t th : p.threads) {
+    fig.add_cell(measure_pairs<wf_queue_base<std::uint64_t>>(th, p));
+    fig.add_cell(measure_pairs<wf_queue_opt1<std::uint64_t>>(th, p));
+    fig.add_cell(measure_pairs<wf_queue_opt2<std::uint64_t>>(th, p));
+    fig.add_cell(measure_pairs<wf_queue_opt<std::uint64_t>>(th, p));
+  }
+  fig.print(p.threads);
+  return 0;
+}

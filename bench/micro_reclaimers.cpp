@@ -1,0 +1,67 @@
+// Beyond-paper ablation: reclamation-scheme cost.
+//
+// Section 3.4 of the paper prescribes hazard pointers for the C++ port but
+// does not measure their cost (the Java evaluation rode on the GC). This
+// bench isolates it: the same queue algorithms under
+//   * hazard pointers (wait-free reclamation, per-read announce+validate),
+//   * epoch-based reclamation (plain reads, blocking memory bound),
+//   * leaky (no reclamation — the algorithm-only floor).
+//
+// google-benchmark multi-threaded counters: items_per_second aggregates
+// across threads.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "baseline/ms_queue.hpp"
+#include "core/wf_queue.hpp"
+#include "harness/workload.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/leaky.hpp"
+
+namespace {
+
+using namespace kpq;
+
+template <typename Q>
+void bm_pairs(benchmark::State& state) {
+  static std::unique_ptr<Q> q;
+  if (state.thread_index() == 0) {
+    q = std::make_unique<Q>(static_cast<std::uint32_t>(state.threads()));
+  }
+  const auto tid = static_cast<std::uint32_t>(state.thread_index());
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    q->enqueue(encode_value(tid, seq++), tid);
+    benchmark::DoNotOptimize(q->dequeue(tid));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * seq));
+  if (state.thread_index() == 0) {
+    // Teardown happens after all threads exited the loop (benchmark
+    // library joins before re-invoking thread 0's epilogue).
+  }
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(bm_pairs, ms_queue<std::uint64_t, hp_domain>)
+    ->Name("ms_queue/hazard")->Threads(1)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(bm_pairs, ms_queue<std::uint64_t, epoch_domain>)
+    ->Name("ms_queue/epoch")->Threads(1)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(bm_pairs, ms_queue<std::uint64_t, leaky_domain>)
+    ->Name("ms_queue/leaky")->Threads(1)->Threads(4)->UseRealTime();
+
+BENCHMARK_TEMPLATE(bm_pairs, wf_queue_opt<std::uint64_t, hp_domain>)
+    ->Name("wf_queue_opt/hazard")->Threads(1)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(bm_pairs, wf_queue_opt<std::uint64_t, epoch_domain>)
+    ->Name("wf_queue_opt/epoch")->Threads(1)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(bm_pairs, wf_queue_opt<std::uint64_t, leaky_domain>)
+    ->Name("wf_queue_opt/leaky")->Threads(1)->Threads(4)->UseRealTime();
+
+BENCHMARK_TEMPLATE(bm_pairs, wf_queue_base<std::uint64_t, hp_domain>)
+    ->Name("wf_queue_base/hazard")->Threads(1)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(bm_pairs, wf_queue_base<std::uint64_t, leaky_domain>)
+    ->Name("wf_queue_base/leaky")->Threads(1)->Threads(4)->UseRealTime();
+
+BENCHMARK_MAIN();

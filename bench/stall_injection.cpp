@@ -1,0 +1,131 @@
+// Beyond-paper bench: operation visibility under injected stalls — the
+// wait-freedom guarantee made measurable on any machine.
+//
+// The paper motivates wait-freedom with heterogeneous/descheduled threads
+// (§1). The total-completion-time benchmarks (Figures 7-9) only show the
+// guarantee's *cost*; this bench shows its *payoff*, in a controlled way the
+// paper's multi-OS comparison could only sample:
+//
+// A producer thread starts an enqueue and is then stalled for T
+// milliseconds at the operation's most vulnerable point:
+//   * KP queue:   right after publishing its operation descriptor;
+//   * MS queue:   right after "logically starting" (node allocated, nothing
+//                 published — the lock-free algorithm has no announce step,
+//                 which is precisely the point).
+// A consumer polls the queue and records when the value becomes dequeuable.
+//
+// Expected: for the wait-free queue the visibility latency is the
+// consumer's reaction time, independent of T (the consumer helps the
+// stalled enqueue to completion); for the lock-free queue it tracks T
+// one-for-one. The stalled thread's own *return* is delayed by T in both —
+// wait-freedom bounds steps, not wall-clock sleep.
+//
+// Flags: --max-stall-ms N (sweeps 1,2,4,... up to N), --reps N, --csv.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "baseline/ms_queue.hpp"
+#include "core/wf_queue.hpp"
+#include "harness/cli.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+#include "harness/timing.hpp"
+
+namespace {
+
+using namespace kpq;
+
+std::atomic<std::int64_t> stall_ms{0};
+std::atomic<bool> stall_armed{false};
+
+void maybe_stall(std::uint32_t tid) {
+  if (tid == 0 && stall_armed.exchange(false, std::memory_order_acq_rel)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(stall_ms.load(std::memory_order_acquire)));
+  }
+}
+
+struct stalling_wf_hooks {
+  static void after_publish(std::uint32_t tid, bool /*is_enq*/) {
+    maybe_stall(tid);
+  }
+};
+struct stalling_wf_options : wf_options {
+  using hooks = stalling_wf_hooks;
+};
+struct stalling_ms_hooks : ms_no_hooks {
+  static void on_enqueue_start(std::uint32_t tid) { maybe_stall(tid); }
+};
+
+using stalling_wf = wf_queue<std::uint64_t, help_all, fetch_add_phase,
+                             hp_domain, stalling_wf_options>;
+using stalling_ms = ms_queue<std::uint64_t, hp_domain, stalling_ms_hooks>;
+
+/// One trial: arm the stall, start the producer's enqueue, measure how long
+/// until a polling consumer can dequeue the value. Returns milliseconds.
+template <typename Q>
+double visibility_ms(std::int64_t stall, std::uint32_t reps_inner = 1) {
+  running_stats rs;
+  for (std::uint32_t r = 0; r < reps_inner; ++r) {
+    Q q(2);
+    stall_ms.store(stall, std::memory_order_release);
+    stall_armed.store(true, std::memory_order_release);
+
+    stopwatch sw;
+    std::thread producer([&] { q.enqueue(42, 0); });
+
+    std::optional<std::uint64_t> got;
+    while (!got.has_value()) {
+      got = q.dequeue(1);  // the consumer's poll is also what helps
+      if (!got.has_value()) std::this_thread::yield();
+    }
+    const double ms = sw.elapsed_s() * 1e3;
+    producer.join();
+    rs.add(ms);
+  }
+  return rs.finish().mean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kpq;
+
+  cli args(argc, argv);
+  if (args.get_flag("help")) {
+    std::printf("%s", "flags: --max-stall-ms N (default 50)  --reps N (default 3)  --csv\n");
+    return 0;
+  }
+  const std::int64_t max_stall =
+      static_cast<std::int64_t>(args.get_u64("max-stall-ms", 50));
+  const auto reps = static_cast<std::uint32_t>(args.get_u64("reps", 3));
+  const bool csv = args.get_flag("csv");
+
+  std::printf("== Stall injection: value-visibility latency vs producer stall ==\n");
+  std::printf("(producer stalls mid-enqueue; consumer measures when the value "
+              "becomes dequeuable)\n\n");
+
+  table t({"stall [ms]", "LF visibility [ms]", "WF visibility [ms]"});
+  std::vector<std::int64_t> stalls;
+  for (std::int64_t s = 1; s <= max_stall; s *= 2) stalls.push_back(s);
+
+  for (std::int64_t s : stalls) {
+    const double lf = visibility_ms<stalling_ms>(s, reps);
+    const double wf = visibility_ms<stalling_wf>(s, reps);
+    t.add_row({std::to_string(s), fmt(lf, 2), fmt(wf, 2)});
+  }
+  t.print();
+  if (csv) {
+    std::printf("\n-- csv --\n");
+    t.print_csv(stdout);
+  }
+  std::printf(
+      "\nLF visibility tracks the stall one-for-one (nothing announced, "
+      "nothing to help);\nWF visibility stays flat: the consumer completes "
+      "the stalled enqueue itself.\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Run the whole test suite under ASan+UBSan and under TSan. Both configs
+# must be 100% green; TSan is the one that caught the port's only genuine
+# reclamation bug (see DESIGN.md, "Port findings").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for mode in address thread; do
+  echo "=== sanitizer: $mode ==="
+  cmake -B "build-$mode-san" -G Ninja -DKPQ_SANITIZE="$mode"
+  cmake --build "build-$mode-san"
+  ctest --test-dir "build-$mode-san" --output-on-failure
+done

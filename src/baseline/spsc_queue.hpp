@@ -1,0 +1,86 @@
+// Lamport's single-producer/single-consumer wait-free queue (1983).
+//
+// Related work (paper §2): "The first such [wait-free queue] implementation
+// was introduced by Lamport; it allows only one concurrent enqueuer and
+// dequeuer. Also, the queue ... is based on a statically allocated array,
+// which essentially bounds the number of elements". Both restrictions are
+// kept faithfully: this is the historical baseline showing what the KP
+// queue generalizes away from, and the concurrency-restriction end of the
+// related-work bench.
+//
+// Mechanics: a ring buffer where `tail_` is written only by the producer
+// and `head_` only by the consumer; each operation is a handful of
+// straight-line instructions — trivially wait-free, but only under the
+// SPSC contract (enforced with assertions in debug builds).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sync/cacheline.hpp"
+
+namespace kpq {
+
+template <typename T>
+class spsc_queue {
+ public:
+  using value_type = T;
+
+  /// `capacity` usable slots (one ring slot is sacrificed internally).
+  explicit spsc_queue(std::size_t capacity)
+      : buf_(capacity + 1) {}
+
+  spsc_queue(const spsc_queue&) = delete;
+  spsc_queue& operator=(const spsc_queue&) = delete;
+
+  /// Producer only. Returns false when full (bounded array, as in Lamport).
+  bool enqueue(T value) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = succ(t);
+    if (next == head_.load(std::memory_order_acquire)) return false;  // full
+    buf_[t] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only.
+  std::optional<T> dequeue() {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    std::optional<T> v{std::move(buf_[h])};
+    head_.store(succ(h), std::memory_order_release);
+    return v;
+  }
+
+  bool empty_hint() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  bool full_hint() const {
+    return succ(tail_.load(std::memory_order_acquire)) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const noexcept { return buf_.size() - 1; }
+
+  /// Test-only, requires quiescence.
+  std::size_t unsafe_size() const {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    return t >= h ? t - h : t + buf_.size() - h;
+  }
+
+ private:
+  std::size_t succ(std::size_t i) const noexcept {
+    return i + 1 == buf_.size() ? 0 : i + 1;
+  }
+
+  std::vector<T> buf_;
+  alignas(destructive_interference) std::atomic<std::size_t> head_{0};
+  alignas(destructive_interference) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace kpq

@@ -1,0 +1,127 @@
+// Blocking convenience adapter over any kpq MPMC queue.
+//
+// The KP queue's dequeue is total: on an empty queue it returns nullopt
+// (the paper's EmptyException). Applications structured around consumer
+// threads usually want "wait until an element arrives or the queue is
+// closed". This adapter layers that on top of any queue type in the library
+// using the standard eventcount-lite pattern: the fast path never touches
+// the mutex; waiters register under the lock and re-check before sleeping,
+// producers only lock when a sleeper might exist.
+//
+// NOTE: waiting obviously forfeits wait-freedom — a blocked consumer is
+// blocked. The *queue operations* keep their progress guarantee; only the
+// emptiness wait blocks. That is the right split for most applications
+// (cf. paper §1: the bound matters for the operation, not for data arrival).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "sync/thread_registry.hpp"
+
+namespace kpq {
+
+template <typename Queue>
+class blocking_adapter {
+ public:
+  using value_type = typename Queue::value_type;
+
+  template <typename... Args>
+  explicit blocking_adapter(Args&&... args)
+      : q_(std::forward<Args>(args)...) {}
+
+  /// Wait-free (as the underlying queue); wakes one sleeper if any.
+  void enqueue(value_type v, std::uint32_t tid) {
+    q_.enqueue(std::move(v), tid);
+    // seq_cst pairs with the waiter's increment-then-recheck (Dekker): if
+    // we read 0 here, the waiter's re-check happens after our insert.
+    if (waiters_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lk(m_);
+      cv_.notify_one();
+    }
+  }
+  void enqueue(value_type v) { enqueue(std::move(v), this_thread_id()); }
+
+  /// Non-blocking dequeue (the underlying queue's contract).
+  std::optional<value_type> try_dequeue(std::uint32_t tid) {
+    return q_.dequeue(tid);
+  }
+  std::optional<value_type> try_dequeue() {
+    return try_dequeue(this_thread_id());
+  }
+
+  /// Blocks until an element is available or close() was called.
+  /// Returns nullopt only after close() with the queue drained.
+  std::optional<value_type> dequeue_blocking(std::uint32_t tid) {
+    for (;;) {
+      if (auto v = q_.dequeue(tid)) return v;
+      std::unique_lock<std::mutex> lk(m_);
+      waiters_.fetch_add(1, std::memory_order_seq_cst);
+      // Re-check under registration: no produce can now slip past unseen.
+      if (auto v = q_.dequeue(tid)) {
+        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        return v;
+      }
+      if (closed_) {
+        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        return std::nullopt;
+      }
+      cv_.wait(lk);
+      waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+  std::optional<value_type> dequeue_blocking() {
+    return dequeue_blocking(this_thread_id());
+  }
+
+  /// Blocks up to `timeout`; nullopt on timeout or drained-and-closed.
+  template <typename Rep, typename Period>
+  std::optional<value_type> dequeue_for(
+      std::chrono::duration<Rep, Period> timeout, std::uint32_t tid) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      if (auto v = q_.dequeue(tid)) return v;
+      std::unique_lock<std::mutex> lk(m_);
+      waiters_.fetch_add(1, std::memory_order_seq_cst);
+      if (auto v = q_.dequeue(tid)) {
+        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        return v;
+      }
+      if (closed_ ||
+          cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        return q_.dequeue(tid);  // final chance either way
+      }
+      waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  /// After close(), blocked consumers drain what is left and then get
+  /// nullopt; further enqueues are the caller's bug (not checked — the
+  /// underlying queue has no closed state).
+  void close() {
+    std::lock_guard<std::mutex> lk(m_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return closed_;
+  }
+
+  Queue& underlying() noexcept { return q_; }
+
+ private:
+  Queue q_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> waiters_{0};
+  bool closed_ = false;  // guarded by m_
+};
+
+}  // namespace kpq

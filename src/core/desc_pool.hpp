@@ -1,0 +1,100 @@
+// Per-thread descriptor cache (paper §3.3, first enhancement).
+//
+// "any update of state is preceded with an allocation of a new operation
+//  descriptor. These allocations might be wasteful [...] if the following
+//  CAS operation fails [...] This issue can be easily solved by caching
+//  allocated descriptors used in unsuccessful CASes and reusing them."
+//
+// Only descriptors that were *never published* (their installing CAS failed,
+// so no other thread can hold a reference) may be recycled here; published
+// descriptors go through the reclaimer. Each thread owns its own free list,
+// so the pool needs no synchronization.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/op_desc.hpp"
+#include "harness/mem_tracker.hpp"
+#include "sync/cacheline.hpp"
+
+namespace kpq {
+
+template <typename T>
+class desc_pool {
+ public:
+  desc_pool(std::uint32_t max_threads, bool enabled,
+            const mem_tracked* accounting, std::size_t cache_cap = 64)
+      : enabled_(enabled),
+        cache_cap_(cache_cap),
+        accounting_(accounting),
+        free_(max_threads) {}
+
+  desc_pool(const desc_pool&) = delete;
+  desc_pool& operator=(const desc_pool&) = delete;
+
+  ~desc_pool() { purge(); }
+
+  /// Construct a descriptor, reusing a cached allocation when possible.
+  template <typename... Args>
+  op_desc<T>* make(std::uint32_t tid, Args&&... args) {
+    auto& list = free_[tid]->items;
+    if (!list.empty()) {
+      op_desc<T>* d = list.back();
+      list.pop_back();
+      d->~op_desc<T>();
+      return new (d) op_desc<T>(std::forward<Args>(args)...);
+    }
+    fresh_allocs_.fetch_add(1, std::memory_order_relaxed);
+    if (accounting_ != nullptr) accounting_->account_alloc(sizeof(op_desc<T>));
+    return new op_desc<T>(std::forward<Args>(args)...);
+  }
+
+  /// Return a never-published descriptor for reuse. Cached descriptors stay
+  /// "live" in the accounting (they occupy heap).
+  void recycle(std::uint32_t tid, op_desc<T>* d) noexcept {
+    auto& list = free_[tid]->items;
+    if (enabled_ && list.size() < cache_cap_) {
+      list.push_back(d);
+    } else {
+      if (accounting_ != nullptr) accounting_->account_free(sizeof(op_desc<T>));
+      delete d;
+    }
+  }
+
+  /// Delete all cached descriptors (destructor path).
+  void purge() noexcept {
+    for (auto& f : free_) {
+      for (op_desc<T>* d : f->items) {
+        if (accounting_ != nullptr) {
+          accounting_->account_free(sizeof(op_desc<T>));
+        }
+        delete d;
+      }
+      f->items.clear();
+    }
+  }
+
+  std::size_t cached(std::uint32_t tid) const noexcept {
+    return free_[tid]->items.size();
+  }
+  std::uint64_t fresh_allocs() const noexcept {
+    return fresh_allocs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct free_list {
+    std::vector<op_desc<T>*> items;
+  };
+
+  bool enabled_;
+  std::size_t cache_cap_;
+  const mem_tracked* accounting_;  // the owning queue's accounting sink
+  std::vector<padded<free_list>> free_;
+  std::atomic<std::uint64_t> fresh_allocs_{0};
+};
+
+}  // namespace kpq

@@ -1,0 +1,585 @@
+// The Kogan–Petrank wait-free MPMC FIFO queue (PPoPP 2011), ported from the
+// paper's Java listing (Figures 1, 2, 4, 6) to unmanaged C++20.
+//
+// Scheme (paper §3.1): every operation picks a monotonically growing *phase*,
+// publishes an operation descriptor in the per-thread `state` array, and then
+// helps every pending operation whose phase is <= its own. Each operation is
+// split into three atomic steps so helpers can share the work without
+// applying anything twice:
+//
+//   enqueue: (1) append node at list end      [linearization, line 74]
+//            (2) flip owner's pending->false  [line 93]
+//            (3) swing tail                   [line 94]
+//   dequeue: (0) point owner's state at the current sentinel   [line 131]
+//            (1) write owner's tid into sentinel's deqTid      [lin., 135]
+//            (2) flip owner's pending->false                   [line 149]
+//            (3) swing head                                    [line 150]
+//
+// C++ port (paper §3.4 prescribes exactly this):
+//   * Hazard pointers protect every dereference and, crucially, every value
+//     a CAS compares against or installs: an expected/desired pointer pinned
+//     by the CASing thread cannot be freed, hence cannot be reallocated,
+//     hence the CAS cannot succeed spuriously (no ABA).
+//   * A completed dequeue's payload is copied into the descriptor
+//     (op_desc::value) by help_finish_deq while the successor node is still
+//     pinned, so deq() never touches a node that may have been retired.
+//   * Descriptors are immutable after publication and flow through the same
+//     reclamation domain as nodes. Replacing a descriptor in `state`
+//     (exchange by the owner, CAS by helpers) retires the old one exactly
+//     once, on the replacing thread. Descriptors whose installing CAS failed
+//     were never published and are recycled through a per-thread cache
+//     (paper §3.3, enhancement 1).
+//   * The owner installs its new descriptor with an atomic exchange, not a
+//     plain store, because helpers may legitimately replace a *completed*
+//     descriptor with an equivalent copy (the paper notes the finish CASes
+//     "may succeed more than once"); exchange makes the retire exactly-once.
+//
+// Progress: enqueue/dequeue complete in O(n) steps plus helping (bounded by
+// the doorway argument, paper §5.3) — wait-free when the reclaimer is
+// wait-free (hazard pointers are; epoch reclamation bounds only memory, not
+// steps, see reclaim/epoch.hpp).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "core/desc_pool.hpp"
+#include "core/help_policy.hpp"
+#include "core/op_desc.hpp"
+#include "core/phase_policy.hpp"
+#include "harness/mem_tracker.hpp"
+#include "reclaim/hazard_pointers.hpp"
+#include "reclaim/reclaimer_concepts.hpp"
+#include "sync/cacheline.hpp"
+#include "sync/thread_registry.hpp"
+
+namespace kpq {
+
+namespace testing {
+/// White-box access for the deterministic scenario tests that replay the
+/// paper's Figures 3 and 5 step by step (defined in the test target only).
+struct whitebox;
+}  // namespace testing
+
+/// Default (no-op) test hooks; see wf_options::hooks.
+struct no_hooks {
+  /// Called right after an operation descriptor is published in `state` and
+  /// before helping starts — the exact point where a thread can stall with
+  /// a pending operation that peers must complete for it.
+  static void after_publish(std::uint32_t /*tid*/, bool /*is_enqueue*/) {}
+};
+
+/// Compile-time switches for the paper's §3.3 enhancements.
+struct wf_options {
+  /// Test instrumentation (zero-cost by default). The progress tests swap
+  /// in hooks that block a chosen thread mid-operation to prove helping.
+  using hooks = no_hooks;
+  /// Per-thread operation counters (wf_counters); zero-cost when off.
+  static constexpr bool collect_stats = false;
+  /// Enhancement 1: cache descriptors whose installing CAS failed.
+  static constexpr bool descriptor_cache = true;
+  /// Enhancement 2: replace the descriptor with a node-free dummy when an
+  /// operation returns, so a finished descriptor does not keep naming a
+  /// node. (In Java this unpins memory from the GC; here it is provided for
+  /// fidelity/ablation — C++ descriptors do not own their node.)
+  static constexpr bool scrub_on_exit = false;
+  /// Enhancement 3: "check whether the pending flag is already switched off
+  /// before applying CAS in Lines 93 or 149" — skips the descriptor
+  /// allocation and the CAS when another helper already completed step (2).
+  static constexpr bool precheck_cas = false;
+};
+
+struct wf_options_no_cache : wf_options {
+  static constexpr bool descriptor_cache = false;
+};
+struct wf_options_scrub : wf_options {
+  static constexpr bool scrub_on_exit = true;
+};
+struct wf_options_precheck : wf_options {
+  static constexpr bool precheck_cas = true;
+};
+struct wf_options_stats : wf_options {
+  static constexpr bool collect_stats = true;
+};
+
+/// Per-thread operation counters (collected when Options::collect_stats).
+/// Owner-thread-only updates: no atomics needed, padded against false
+/// sharing. The interesting derived quantity is the *helping rate*: how many
+/// operations were completed by a thread other than their owner — the
+/// dynamic behind the paper's Figure 9 discussion of helping stampedes.
+struct wf_counters {
+  std::uint64_t enq_ops = 0;
+  std::uint64_t deq_ops = 0;
+  std::uint64_t empty_deqs = 0;
+  /// Completion-step CASes this thread won for ANOTHER thread's operation.
+  std::uint64_t helped_enq_completions = 0;
+  std::uint64_t helped_deq_completions = 0;
+  /// Link/claim CASes lost to a concurrent helper (wasted attempts).
+  std::uint64_t link_cas_failures = 0;
+  /// Descriptor installs that lost their CAS (recycled via the pool).
+  std::uint64_t desc_cas_failures = 0;
+
+  wf_counters& operator+=(const wf_counters& o) {
+    enq_ops += o.enq_ops;
+    deq_ops += o.deq_ops;
+    empty_deqs += o.empty_deqs;
+    helped_enq_completions += o.helped_enq_completions;
+    helped_deq_completions += o.helped_deq_completions;
+    link_cas_failures += o.link_cas_failures;
+    desc_cas_failures += o.desc_cas_failures;
+    return *this;
+  }
+};
+
+template <typename T, typename HelpPolicy = help_all,
+          typename PhasePolicy = scan_max_phase, typename Reclaimer = hp_domain,
+          typename Options = wf_options>
+class wf_queue : public mem_tracked {
+  static_assert(std::is_default_constructible_v<T>,
+                "op_desc carries a T payload slot");
+  static_assert(std::is_copy_constructible_v<T>,
+                "helpers copy the dequeued payload concurrently");
+
+ public:
+  using value_type = T;
+  using node_type = wf_node<T>;
+  using desc_type = op_desc<T>;
+  using reclaimer_type = Reclaimer;
+
+  /// Hazard slots used per thread: head/first, tail/last, next, descriptor,
+  /// and the node named by a pending descriptor.
+  static constexpr std::uint32_t hp_slots = 5;
+  enum slot : std::uint32_t {
+    s_first = 0,
+    s_last = 1,
+    s_next = 2,
+    s_desc = 3,
+    s_node = 4
+  };
+
+  /// `max_threads` bounds the number of distinct thread ids (dense, from
+  /// kpq::this_thread_id() or passed explicitly) that may ever operate on
+  /// this queue (paper: NUM_THRDS). Pass `mc` to account every node and
+  /// descriptor allocation from the first one (the Figure 10 bench does);
+  /// attaching later via set_memory_counters() leaves construction-time
+  /// allocations uncounted.
+  explicit wf_queue(std::uint32_t max_threads, mem_counters* mc = nullptr)
+      : n_(max_threads),
+        reclaim_(max_threads, hp_slots),
+        pool_(max_threads, Options::descriptor_cache, this),
+        help_(max_threads),
+        phase_(max_threads),
+        state_(max_threads),
+        stats_(Options::collect_stats ? max_threads : 0) {
+    set_memory_counters(mc);
+    node_type* sentinel = alloc_node(T{}, no_tid);  // paper line 28
+    head_.store(sentinel, std::memory_order_relaxed);
+    tail_.store(sentinel, std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < n_; ++i) {  // paper lines 32-34
+      state_[i]->store(pool_.make(i, no_phase, false, true, nullptr),
+                       std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  wf_queue(const wf_queue&) = delete;
+  wf_queue& operator=(const wf_queue&) = delete;
+
+  /// Requires quiescence (no operation in flight), like all concurrent
+  /// container destructors.
+  ~wf_queue() {
+    node_type* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      node_type* next = n->next.load(std::memory_order_relaxed);
+      free_node(n);
+      n = next;
+    }
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      desc_type* d = state_[i]->load(std::memory_order_relaxed);
+      assert(!d->pending && "destroying a queue with an operation in flight");
+      free_desc(d);
+    }
+    // reclaim_ and pool_ drain their retired/cached objects on destruction.
+  }
+
+  // ---------------------------------------------------------------- enqueue
+
+  /// paper lines 61-66
+  void enqueue(T value) { enqueue(std::move(value), this_thread_id()); }
+
+  void enqueue(T value, std::uint32_t tid) {
+    assert(tid < n_);
+    auto g = reclaim_.enter(tid);
+    const std::int64_t phase = phase_.next_phase(*this, g, tid);  // line 62
+    node_type* node = alloc_node(std::move(value), static_cast<std::int32_t>(tid));
+    publish(tid, pool_.make(tid, phase, true, true, node));  // line 63
+    if constexpr (Options::collect_stats) ++stats_[tid]->enq_ops;
+    Options::hooks::after_publish(tid, /*is_enqueue=*/true);
+    help_.run(*this, tid, phase, g);                         // line 64
+    help_finish_enq(tid, g);                                 // line 65
+    if constexpr (Options::scrub_on_exit) scrub(tid, g, /*enq=*/true);
+  }
+
+  // ---------------------------------------------------------------- dequeue
+
+  /// paper lines 98-108; empty queue yields nullopt instead of an exception.
+  std::optional<T> dequeue() { return dequeue(this_thread_id()); }
+
+  std::optional<T> dequeue(std::uint32_t tid) {
+    assert(tid < n_);
+    auto g = reclaim_.enter(tid);
+    const std::int64_t phase = phase_.next_phase(*this, g, tid);   // line 99
+    publish(tid, pool_.make(tid, phase, true, false, nullptr));    // line 100
+    if constexpr (Options::collect_stats) ++stats_[tid]->deq_ops;
+    Options::hooks::after_publish(tid, /*is_enqueue=*/false);
+    help_.run(*this, tid, phase, g);                               // line 101
+    help_finish_deq(tid, g);                                       // line 102
+    // Our completed descriptor may still be replaced by an equivalent copy
+    // by a helper finishing stage 2/3 late, so protect before reading.
+    desc_type* d = g.protect(s_desc, state_[tid].get());           // line 103
+    std::optional<T> result;
+    if (d->node != nullptr) result = d->value;  // §3.4: payload lives in d
+    if constexpr (Options::collect_stats) {
+      if (!result.has_value()) ++stats_[tid]->empty_deqs;
+    }
+    g.clear(s_desc);
+    if constexpr (Options::scrub_on_exit) scrub(tid, g, /*enq=*/false);
+    return result;  // d->node == nullptr: linearized on an empty queue
+  }
+
+  // ----------------------------------------------------------- observability
+
+  std::uint32_t max_threads() const noexcept { return n_; }
+
+  /// True if the queue looked empty at some point during the call.
+  bool empty_hint(std::uint32_t tid) {
+    auto g = reclaim_.enter(tid);
+    node_type* first = g.protect(s_first, head_);
+    node_type* last = tail_.load(std::memory_order_seq_cst);
+    node_type* next = g.protect(s_next, first->next);
+    return first == last && next == nullptr;
+  }
+  bool empty_hint() { return empty_hint(this_thread_id()); }
+
+  reclaimer_type& reclaimer() noexcept { return reclaim_; }
+  const desc_pool<T>& descriptor_pool() const noexcept { return pool_; }
+
+  /// Per-thread counters (meaningful only with Options::collect_stats;
+  /// read under quiescence or accept torn snapshots).
+  const wf_counters& counters(std::uint32_t tid) const {
+    return stats_[tid].get();
+  }
+  wf_counters aggregate_counters() const {
+    wf_counters total;
+    for (const auto& s : stats_) total += s.get();
+    return total;
+  }
+
+  /// Test-only, requires quiescence: number of elements by list walk.
+  std::size_t unsafe_size() const {
+    std::size_t n = 0;
+    const node_type* p = head_.load(std::memory_order_acquire);
+    for (p = p->next.load(std::memory_order_acquire); p != nullptr;
+         p = p->next.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    return n;
+  }
+
+  // ------------------------------------------------- policy/helping interface
+  // Public because the help/phase policies drive them; not part of the user
+  // API.
+
+  /// paper lines 48-57
+  template <typename Guard>
+  std::int64_t max_phase(Guard& g) {
+    std::int64_t m = no_phase;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      desc_type* d = g.protect(s_desc, state_[i].get());
+      if (d->phase > m) m = d->phase;
+    }
+    return m;
+  }
+
+  /// paper lines 38-44: one iteration of the help() loop body. `my` is the
+  /// helping thread's own id (reclamation bookkeeping).
+  template <typename Guard>
+  void help_if_needed(std::uint32_t i, std::int64_t phase, Guard& g,
+                      std::uint32_t my) {
+    desc_type* d = g.protect(s_desc, state_[i].get());
+    if (d->pending && d->phase <= phase) {  // line 39
+      if (d->enqueue) {
+        help_enq(i, phase, g, my);  // line 41
+      } else {
+        help_deq(i, phase, g, my);  // line 43
+      }
+    }
+  }
+
+ private:
+  friend struct kpq::testing::whitebox;
+
+  using state_slot = std::atomic<desc_type*>;
+
+  // ------------------------------------------------------------- allocation
+
+  node_type* alloc_node(T v, std::int32_t etid) {
+    account_alloc(sizeof(node_type));
+    return new node_type(std::move(v), etid);
+  }
+  void free_node(node_type* n) noexcept {
+    account_free(sizeof(node_type));
+    delete n;
+  }
+  void free_desc(desc_type* d) noexcept {
+    account_free(sizeof(desc_type));
+    delete d;
+  }
+
+  static void retire_node_fn(void* ctx, void* p) {
+    if (ctx != nullptr) {
+      static_cast<mem_counters*>(ctx)->on_free(sizeof(node_type));
+    }
+    delete static_cast<node_type*>(p);
+  }
+  static void retire_desc_fn(void* ctx, void* p) {
+    if (ctx != nullptr) {
+      static_cast<mem_counters*>(ctx)->on_free(sizeof(desc_type));
+    }
+    delete static_cast<desc_type*>(p);
+  }
+
+  void retire_node(std::uint32_t tid, node_type* n) {
+    reclaim_.retire(tid, n, &retire_node_fn, memory_counters());
+  }
+  void retire_desc(std::uint32_t tid, desc_type* d) {
+    reclaim_.retire(tid, d, &retire_desc_fn, memory_counters());
+  }
+
+  /// Owner installs a fresh descriptor; the displaced one is retired here,
+  /// exactly once (see file comment on why exchange, not store).
+  void publish(std::uint32_t tid, desc_type* d) {
+    desc_type* old = state_[tid]->exchange(d, std::memory_order_seq_cst);
+    retire_desc(tid, old);
+  }
+
+  /// Try to swap state_[tid]: curr -> repl. Retires curr on success,
+  /// recycles repl (never published) on failure. `curr` must be pinned by
+  /// the caller (slot s_desc) — that pin is what makes the CAS ABA-free.
+  bool swap_state(std::uint32_t tid, std::uint32_t my_tid, desc_type* curr,
+                  desc_type* repl) {
+    desc_type* expected = curr;
+    if (state_[tid]->compare_exchange_strong(expected, repl,
+                                             std::memory_order_seq_cst)) {
+      retire_desc(my_tid, curr);
+      return true;
+    }
+    if constexpr (Options::collect_stats) ++stats_[my_tid]->desc_cas_failures;
+    pool_.recycle(my_tid, repl);
+    return false;
+  }
+
+  // ----------------------------------------------------------------- helping
+
+  /// paper lines 58-60 (descriptor must be re-read each call; the returned
+  /// snapshot is consistent because descriptors are immutable).
+  template <typename Guard>
+  bool is_still_pending(std::uint32_t tid, std::int64_t ph, Guard& g) {
+    desc_type* d = g.protect(s_desc, state_[tid].get());
+    return d->pending && d->phase <= ph;
+  }
+
+  /// paper lines 67-84. `tid` owns the pending enqueue; the caller's thread
+  /// id only matters for reclamation bookkeeping and is carried by `g`'s
+  /// slots plus `my` below.
+  template <typename Guard>
+  void help_enq(std::uint32_t tid, std::int64_t phase, Guard& g,
+                std::uint32_t my) {
+    while (is_still_pending(tid, phase, g)) {                  // line 68
+      node_type* last = g.protect(s_last, tail_);              // line 69
+      node_type* next = g.protect(s_next, last->next);         // line 70
+      if (last != tail_.load(std::memory_order_seq_cst)) {     // line 71
+        continue;
+      }
+      if (next == nullptr) {  // line 72: enqueue can be applied
+        // line 73: the operation must still be pending, and we must fetch
+        // the node from the *current* descriptor...
+        desc_type* d = g.protect(s_desc, state_[tid].get());
+        if (!(d->pending && d->phase <= phase)) continue;
+        node_type* node = d->node;
+        // ...and pin that node across the CAS: a pending descriptor's node
+        // is not yet retired (it cannot be dequeued before the operation's
+        // pending flag clears), and the pin keeps it so.
+        g.protect_raw(s_node, node);
+        if (state_[tid]->load(std::memory_order_seq_cst) != d) continue;
+        node_type* expected = nullptr;
+        if (last->next.compare_exchange_strong(
+                expected, node, std::memory_order_seq_cst)) {  // line 74
+          g.clear(s_node);
+          help_finish_enq(my, g);  // line 75
+          return;                  // line 76
+        }
+        if constexpr (Options::collect_stats) ++stats_[my]->link_cas_failures;
+        g.clear(s_node);
+      } else {                          // line 79: an enqueue is in progress
+        help_finish_enq(my, g);           // line 80: help it first, then retry
+      }
+    }
+  }
+
+  /// paper lines 85-97 (steps 2 and 3 of the enqueue scheme).
+  template <typename Guard>
+  void help_finish_enq(std::uint32_t my, Guard& g) {
+    node_type* last = g.protect(s_last, tail_);        // line 86
+    node_type* next = g.protect(s_next, last->next);   // line 87
+    if (next == nullptr) return;                       // line 88
+    // Reclamation subtlety absent from the paper's GC setting: `next` was
+    // announced against the write-once last->next, which validates nothing.
+    // Re-check tail AFTER the announce and BEFORE dereferencing: while
+    // tail == last, head <= last in list order, so the dangling node cannot
+    // yet have been dequeued, let alone retired — and any later retirement
+    // happens after this check, hence after our announce, so the reclaimer
+    // sees it (Michael 2004 uses the same validate-the-source pattern).
+    if (last != tail_.load(std::memory_order_seq_cst)) return;
+    const std::int32_t etid = next->enq_tid;           // line 89
+    assert(etid != no_tid);
+    const auto tid = static_cast<std::uint32_t>(etid);
+    desc_type* cur = g.protect(s_desc, state_[tid].get());  // line 90
+    if (last == tail_.load(std::memory_order_seq_cst) &&
+        cur->node == next) {  // line 91 (cur is current: protect validated)
+      // §3.3 enhancement 3: if step (2) is already done, skip straight to
+      // the tail swing (still safe: stage 3 only ever follows a completed
+      // stage 2, which pending==false certifies).
+      if (!Options::precheck_cas || cur->pending) {
+        // line 92: new descriptor marking the operation linearized...
+        desc_type* fresh = pool_.make(my, cur->phase, false, true, next);
+        const bool won = swap_state(tid, my, cur, fresh);  // line 93 (step 2)
+        if constexpr (Options::collect_stats) {
+          if (won && tid != my) ++stats_[my]->helped_enq_completions;
+        }
+      }
+      tail_.compare_exchange_strong(last, next,
+                                    std::memory_order_seq_cst);  // 94 (step 3)
+    }
+  }
+
+  /// paper lines 109-140.
+  template <typename Guard>
+  void help_deq(std::uint32_t tid, std::int64_t phase, Guard& g,
+                std::uint32_t my) {
+    while (is_still_pending(tid, phase, g)) {              // line 110
+      node_type* first = g.protect(s_first, head_);        // line 111
+      node_type* last = tail_.load(std::memory_order_seq_cst);  // line 112
+      node_type* next = g.protect(s_next, first->next);    // line 113
+      if (first != head_.load(std::memory_order_seq_cst)) {  // line 114
+        continue;
+      }
+      if (first == last) {      // line 115: queue might be empty
+        if (next == nullptr) {  // line 116: queue is empty
+          desc_type* cur = g.protect(s_desc, state_[tid].get());  // line 117
+          if (last == tail_.load(std::memory_order_seq_cst) &&
+              cur->pending && cur->phase <= phase) {  // line 118
+            // lines 119-120: mark the operation completed-empty.
+            desc_type* fresh =
+                pool_.make(my, cur->phase, false, false, nullptr);
+            swap_state(tid, my, cur, fresh);
+          }
+        } else {                     // line 122: an enqueue is in progress
+          help_finish_enq(my, g);    // line 123
+        }
+      } else {  // line 125: queue is not empty
+        desc_type* cur = g.protect(s_desc, state_[tid].get());  // line 126
+        node_type* node = cur->node;                            // line 127
+        if (!(cur->pending && cur->phase <= phase)) break;      // line 128
+        if (first == head_.load(std::memory_order_seq_cst) &&
+            node != first) {  // line 129
+          // lines 130-131: stage 0 — point tid's state at the sentinel.
+          desc_type* fresh = pool_.make(my, cur->phase, true, false, first);
+          if (!swap_state(tid, my, cur, fresh)) {
+            continue;  // line 132
+          }
+        }
+        std::int32_t expected = no_tid;
+        first->deq_tid.compare_exchange_strong(
+            expected, static_cast<std::int32_t>(tid),
+            std::memory_order_seq_cst);  // line 135 (stage 1, linearization)
+        help_finish_deq(my, g);          // line 136
+      }
+    }
+  }
+
+  /// paper lines 141-153 (stages 2 and 3 of the dequeue scheme).
+  template <typename Guard>
+  void help_finish_deq(std::uint32_t my, Guard& g) {
+    node_type* first = g.protect(s_first, head_);       // line 142
+    node_type* next = g.protect(s_next, first->next);   // line 143
+    const std::int32_t dtid =
+        first->deq_tid.load(std::memory_order_seq_cst);  // line 144
+    if (dtid == no_tid) return;                          // line 145
+    const auto tid = static_cast<std::uint32_t>(dtid);
+    desc_type* cur = g.protect(s_desc, state_[tid].get());  // line 146
+    if (first == head_.load(std::memory_order_seq_cst) &&
+        next != nullptr) {  // line 147
+      // §3.3 enhancement 3 (see help_finish_enq).
+      if (!Options::precheck_cas || cur->pending) {
+        // line 148 + §3.4: copy the payload out of the (pinned) successor
+        // into the descriptor so the caller never revisits these nodes.
+        desc_type* fresh =
+            pool_.make(my, cur->phase, false, false, cur->node, next->value);
+        const bool won = swap_state(tid, my, cur, fresh);  // line 149 (step 2)
+        if constexpr (Options::collect_stats) {
+          if (won && tid != my) ++stats_[my]->helped_deq_completions;
+        }
+      }
+      if (head_.compare_exchange_strong(
+              first, next, std::memory_order_seq_cst)) {  // line 150 (step 3)
+        // Exactly one thread wins the head swing; it owns retiring the old
+        // sentinel.
+        retire_node(my, first);
+      }
+    }
+  }
+
+  /// §3.3 enhancement 2: leave a dummy descriptor behind on operation exit.
+  template <typename Guard>
+  void scrub(std::uint32_t tid, Guard& g, bool enq) {
+    desc_type* d = g.protect(s_desc, state_[tid].get());
+    publish(tid, pool_.make(tid, d->phase, false, enq, nullptr));
+    g.clear(s_desc);
+  }
+
+  // ------------------------------------------------------------------- data
+
+  const std::uint32_t n_;
+  Reclaimer reclaim_;
+  desc_pool<T> pool_;
+  HelpPolicy help_;
+  PhasePolicy phase_;
+
+  alignas(destructive_interference) std::atomic<node_type*> head_{nullptr};
+  alignas(destructive_interference) std::atomic<node_type*> tail_{nullptr};
+  std::vector<padded<state_slot>> state_;  // paper line 26
+  std::vector<padded<wf_counters>> stats_;  // empty unless collect_stats
+};
+
+// ------------------------------------------------------------------ aliases
+
+/// The paper's evaluated variants (§4):
+///   base WF       — help_all + scan_max_phase
+///   opt WF (1)    — help_one + scan_max_phase
+///   opt WF (2)    — help_all + fetch_add_phase
+///   opt WF (1+2)  — help_one + fetch_add_phase
+template <typename T, typename R = hp_domain>
+using wf_queue_base = wf_queue<T, help_all, scan_max_phase, R>;
+template <typename T, typename R = hp_domain>
+using wf_queue_opt1 = wf_queue<T, help_one, scan_max_phase, R>;
+template <typename T, typename R = hp_domain>
+using wf_queue_opt2 = wf_queue<T, help_all, fetch_add_phase, R>;
+template <typename T, typename R = hp_domain>
+using wf_queue_opt = wf_queue<T, help_one, fetch_add_phase, R>;
+
+}  // namespace kpq

@@ -1,0 +1,450 @@
+// Fast-path/slow-path wait-free queue — the §3.3 extension the paper points
+// at ("apply techniques of [2] to have the time complexity of the algorithm
+// depend on the number of threads concurrently accessing the queue rather
+// than n"), realized the way Kogan & Petrank themselves later did (PPoPP'12
+// "A methodology for creating fast wait-free data structures"):
+//
+//   * FAST PATH: up to `max_tries` attempts of the plain Michael–Scott
+//     lock-free operation. Contention-free cost is therefore the MS queue's
+//     cost plus one cyclic helping probe — independent of n.
+//   * SLOW PATH: on exhaustion, fall back to the KP announce-and-help
+//     machinery (descriptor, phase, helping), which bounds the total steps.
+//   * INTEROP: the two paths share linearization points.
+//       - enqueue: the link CAS is the linearization for both; fast nodes
+//         carry enq_tid == -1 so helpers know there is no descriptor to
+//         complete and only the tail needs fixing (step 2 is skipped, which
+//         is safe exactly because nothing is pending).
+//       - dequeue: BOTH paths claim the sentinel's deqTid — the fast path
+//         writes an encoded "fast" claim — so the write-once-per-node
+//         discipline that serializes dequeues is preserved, and either kind
+//         of claim can be finished by any thread.
+//   * WAIT-FREEDOM: every operation first probes one announce slot in
+//     cyclic order (like opt 1) and helps a pending operation to
+//     completion, so a slow-path operation is helped after at most n
+//     operations of each active peer; the fast path itself is bounded by
+//     `max_tries`.
+//
+// The reclamation discipline (pins on every CAS expected/desired value, the
+// validate-the-source rule for the dangling node) is identical to
+// wf_queue.hpp — see docs/ALGORITHM.md §2.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "core/desc_pool.hpp"
+#include "core/op_desc.hpp"
+#include "harness/mem_tracker.hpp"
+#include "reclaim/hazard_pointers.hpp"
+#include "sync/cacheline.hpp"
+#include "sync/thread_registry.hpp"
+
+namespace kpq {
+
+namespace testing {
+struct whitebox;  // test-only white-box driver (defined in test targets)
+}  // namespace testing
+
+/// Hooks for the fast-path/slow-path queue (progress tests stall threads at
+/// the slow-path announce point, exactly as for wf_queue).
+struct fps_no_hooks {
+  static void after_slow_publish(std::uint32_t /*tid*/, bool /*is_enq*/) {}
+};
+
+struct fps_options {
+  using hooks = fps_no_hooks;
+  /// Fast-path attempts before announcing on the slow path.
+  static constexpr std::uint32_t max_tries = 8;
+  static constexpr bool descriptor_cache = true;
+};
+
+template <typename T, typename Reclaimer = hp_domain,
+          typename Options = fps_options>
+class wf_queue_fps : public mem_tracked {
+  static_assert(std::is_default_constructible_v<T>);
+  static_assert(std::is_copy_constructible_v<T>);
+
+ public:
+  using value_type = T;
+  using node_type = wf_node<T>;
+  using desc_type = op_desc<T>;
+  using reclaimer_type = Reclaimer;
+
+  static constexpr std::uint32_t hp_slots = 5;
+  enum slot : std::uint32_t {
+    s_first = 0,
+    s_last = 1,
+    s_next = 2,
+    s_desc = 3,
+    s_node = 4
+  };
+
+  /// deqTid encoding: no_tid free, [0, n) slow-path claim by that thread,
+  /// fast_claim_base + tid a fast-path claim (no descriptor to complete).
+  static constexpr std::int32_t fast_claim_base = 1 << 20;
+  static bool is_fast_claim(std::int32_t dtid) noexcept {
+    return dtid >= fast_claim_base;
+  }
+
+  explicit wf_queue_fps(std::uint32_t max_threads, mem_counters* mc = nullptr)
+      : n_(max_threads),
+        reclaim_(max_threads, hp_slots),
+        pool_(max_threads, Options::descriptor_cache, this),
+        cursor_(max_threads),
+        state_(max_threads) {
+    set_memory_counters(mc);
+    node_type* sentinel = alloc_node(T{}, no_tid);
+    head_.store(sentinel, std::memory_order_relaxed);
+    tail_.store(sentinel, std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      state_[i]->store(pool_.make(i, no_phase, false, true, nullptr),
+                       std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  wf_queue_fps(const wf_queue_fps&) = delete;
+  wf_queue_fps& operator=(const wf_queue_fps&) = delete;
+
+  ~wf_queue_fps() {
+    node_type* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      node_type* next = n->next.load(std::memory_order_relaxed);
+      free_node(n);
+      n = next;
+    }
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      desc_type* d = state_[i]->load(std::memory_order_relaxed);
+      assert(!d->pending && "destroying a queue with an operation in flight");
+      free_desc(d);
+    }
+  }
+
+  // ---------------------------------------------------------------- enqueue
+
+  void enqueue(T value) { enqueue(std::move(value), this_thread_id()); }
+
+  void enqueue(T value, std::uint32_t tid) {
+    assert(tid < n_);
+    auto g = reclaim_.enter(tid);
+    help_someone(tid, g);  // wait-freedom: one cyclic probe per operation
+
+    // Fast path: plain MS enqueue, bounded attempts. enq_tid = -1 marks a
+    // fast node: helpers fix only the tail for it.
+    node_type* node = alloc_node(std::move(value), no_tid);
+    for (std::uint32_t attempt = 0; attempt < Options::max_tries; ++attempt) {
+      node_type* last = g.protect(s_last, tail_);
+      node_type* next = last->next.load(std::memory_order_seq_cst);
+      if (last != tail_.load(std::memory_order_seq_cst)) continue;
+      if (next == nullptr) {
+        node_type* expected = nullptr;
+        if (last->next.compare_exchange_strong(expected, node,
+                                               std::memory_order_seq_cst)) {
+          help_finish_enq(tid, g);
+          return;
+        }
+      } else {
+        help_finish_enq(tid, g);
+      }
+    }
+
+    // Slow path: adopt the node (it was never published) and announce.
+    node->enq_tid = static_cast<std::int32_t>(tid);
+    const std::int64_t phase =
+        phase_counter_->fetch_add(1, std::memory_order_acq_rel);
+    publish(tid, pool_.make(tid, phase, true, true, node));
+    Options::hooks::after_slow_publish(tid, /*is_enq=*/true);
+    help_enq(tid, phase, g, tid);
+    help_finish_enq(tid, g);
+  }
+
+  // ---------------------------------------------------------------- dequeue
+
+  std::optional<T> dequeue() { return dequeue(this_thread_id()); }
+
+  std::optional<T> dequeue(std::uint32_t tid) {
+    assert(tid < n_);
+    auto g = reclaim_.enter(tid);
+    help_someone(tid, g);
+
+    // Fast path: claim the sentinel's deqTid with a fast marker; the claim
+    // is the linearization for both paths, so fast and slow dequeues
+    // serialize through the same write-once field.
+    for (std::uint32_t attempt = 0; attempt < Options::max_tries; ++attempt) {
+      node_type* first = g.protect(s_first, head_);
+      node_type* last = tail_.load(std::memory_order_seq_cst);
+      node_type* next = g.protect(s_next, first->next);
+      if (first != head_.load(std::memory_order_seq_cst)) continue;
+      if (first == last) {
+        if (next == nullptr) return std::nullopt;  // empty, like MS
+        help_finish_enq(tid, g);  // dangling enqueue first
+        continue;
+      }
+      // `next` is safe to read: first == head implies next not yet retired.
+      T value = next->value;
+      std::int32_t expected = no_tid;
+      if (first->deq_tid.compare_exchange_strong(
+              expected, fast_claim_base + static_cast<std::int32_t>(tid),
+              std::memory_order_seq_cst)) {
+        help_finish_deq(tid, g);  // swing head; winner retires the sentinel
+        return value;
+      }
+      // Someone else (fast or slow) claimed it: finish them, retry.
+      help_finish_deq(tid, g);
+    }
+
+    // Slow path: the base algorithm's dequeue.
+    const std::int64_t phase =
+        phase_counter_->fetch_add(1, std::memory_order_acq_rel);
+    publish(tid, pool_.make(tid, phase, true, false, nullptr));
+    Options::hooks::after_slow_publish(tid, /*is_enq=*/false);
+    help_deq(tid, phase, g, tid);
+    help_finish_deq(tid, g);
+    desc_type* d = g.protect(s_desc, state_[tid].get());
+    std::optional<T> result;
+    if (d->node != nullptr) result = d->value;
+    g.clear(s_desc);
+    return result;
+  }
+
+  // ----------------------------------------------------------- observability
+
+  std::uint32_t max_threads() const noexcept { return n_; }
+  reclaimer_type& reclaimer() noexcept { return reclaim_; }
+
+  bool empty_hint(std::uint32_t tid) {
+    auto g = reclaim_.enter(tid);
+    node_type* first = g.protect(s_first, head_);
+    node_type* last = tail_.load(std::memory_order_seq_cst);
+    node_type* next = g.protect(s_next, first->next);
+    return first == last && next == nullptr;
+  }
+  bool empty_hint() { return empty_hint(this_thread_id()); }
+
+  std::size_t unsafe_size() const {
+    std::size_t n = 0;
+    const node_type* p = head_.load(std::memory_order_acquire);
+    for (p = p->next.load(std::memory_order_acquire); p != nullptr;
+         p = p->next.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  friend struct kpq::testing::whitebox;
+
+  using state_slot = std::atomic<desc_type*>;
+  using guard_t = decltype(std::declval<Reclaimer&>().enter(0));
+
+  // ------------------------------------------------------------- allocation
+
+  node_type* alloc_node(T v, std::int32_t etid) {
+    account_alloc(sizeof(node_type));
+    return new node_type(std::move(v), etid);
+  }
+  void free_node(node_type* n) noexcept {
+    account_free(sizeof(node_type));
+    delete n;
+  }
+  void free_desc(desc_type* d) noexcept {
+    account_free(sizeof(desc_type));
+    delete d;
+  }
+  static void retire_node_fn(void* ctx, void* p) {
+    if (ctx != nullptr) {
+      static_cast<mem_counters*>(ctx)->on_free(sizeof(node_type));
+    }
+    delete static_cast<node_type*>(p);
+  }
+  static void retire_desc_fn(void* ctx, void* p) {
+    if (ctx != nullptr) {
+      static_cast<mem_counters*>(ctx)->on_free(sizeof(desc_type));
+    }
+    delete static_cast<desc_type*>(p);
+  }
+  void retire_node(std::uint32_t tid, node_type* n) {
+    reclaim_.retire(tid, n, &retire_node_fn, memory_counters());
+  }
+  void retire_desc(std::uint32_t tid, desc_type* d) {
+    reclaim_.retire(tid, d, &retire_desc_fn, memory_counters());
+  }
+
+  void publish(std::uint32_t tid, desc_type* d) {
+    desc_type* old = state_[tid]->exchange(d, std::memory_order_seq_cst);
+    retire_desc(tid, old);
+  }
+
+  bool swap_state(std::uint32_t tid, std::uint32_t my, desc_type* curr,
+                  desc_type* repl) {
+    desc_type* expected = curr;
+    if (state_[tid]->compare_exchange_strong(expected, repl,
+                                             std::memory_order_seq_cst)) {
+      retire_desc(my, curr);
+      return true;
+    }
+    pool_.recycle(my, repl);
+    return false;
+  }
+
+  // ----------------------------------------------------------------- helping
+
+  /// One cyclic probe: help whatever announced operation sits at the
+  /// cursor, to completion (no phase bound — fast operations have no phase;
+  /// helping "too much" costs time, never correctness).
+  void help_someone(std::uint32_t my, guard_t& g) {
+    std::uint32_t& k = cursor_[my].value;  // owner-only
+    const std::uint32_t candidate = k;
+    k = (k + 1 == n_) ? 0 : k + 1;
+    if (candidate == my) return;
+    desc_type* d = g.protect(s_desc, state_[candidate].get());
+    if (!d->pending) return;
+    if (d->enqueue) {
+      help_enq(candidate, d->phase, g, my);
+    } else {
+      help_deq(candidate, d->phase, g, my);
+    }
+  }
+
+  bool is_still_pending(std::uint32_t tid, std::int64_t ph, guard_t& g) {
+    desc_type* d = g.protect(s_desc, state_[tid].get());
+    return d->pending && d->phase <= ph;
+  }
+
+  /// Slow-path enqueue helping; identical to wf_queue::help_enq.
+  void help_enq(std::uint32_t tid, std::int64_t phase, guard_t& g,
+                std::uint32_t my) {
+    while (is_still_pending(tid, phase, g)) {
+      node_type* last = g.protect(s_last, tail_);
+      node_type* next = g.protect(s_next, last->next);
+      if (last != tail_.load(std::memory_order_seq_cst)) continue;
+      if (next == nullptr) {
+        desc_type* d = g.protect(s_desc, state_[tid].get());
+        if (!(d->pending && d->phase <= phase)) continue;
+        node_type* node = d->node;
+        g.protect_raw(s_node, node);
+        if (state_[tid]->load(std::memory_order_seq_cst) != d) continue;
+        node_type* expected = nullptr;
+        if (last->next.compare_exchange_strong(expected, node,
+                                               std::memory_order_seq_cst)) {
+          g.clear(s_node);
+          help_finish_enq(my, g);
+          return;
+        }
+        g.clear(s_node);
+      } else {
+        help_finish_enq(my, g);
+      }
+    }
+  }
+
+  /// Finishes a dangling enqueue of EITHER kind. Fast nodes (enq_tid == -1)
+  /// have no descriptor: only the tail swing (step 3) applies, and skipping
+  /// step 2 is safe precisely because nothing is pending for them.
+  void help_finish_enq(std::uint32_t my, guard_t& g) {
+    node_type* last = g.protect(s_last, tail_);
+    node_type* next = g.protect(s_next, last->next);
+    if (next == nullptr) return;
+    // Validate-the-source before dereferencing `next` (docs/ALGORITHM.md §2).
+    if (last != tail_.load(std::memory_order_seq_cst)) return;
+    const std::int32_t etid = next->enq_tid;
+    if (etid == no_tid) {  // fast-path node
+      tail_.compare_exchange_strong(last, next, std::memory_order_seq_cst);
+      return;
+    }
+    const auto tid = static_cast<std::uint32_t>(etid);
+    desc_type* cur = g.protect(s_desc, state_[tid].get());
+    if (last == tail_.load(std::memory_order_seq_cst) && cur->node == next) {
+      desc_type* fresh = pool_.make(my, cur->phase, false, true, next);
+      swap_state(tid, my, cur, fresh);
+      tail_.compare_exchange_strong(last, next, std::memory_order_seq_cst);
+    }
+  }
+
+  /// Slow-path dequeue helping; identical to wf_queue::help_deq except that
+  /// the deqTid claim can lose to a fast claim, which help_finish_deq then
+  /// completes before the loop retries.
+  void help_deq(std::uint32_t tid, std::int64_t phase, guard_t& g,
+                std::uint32_t my) {
+    while (is_still_pending(tid, phase, g)) {
+      node_type* first = g.protect(s_first, head_);
+      node_type* last = tail_.load(std::memory_order_seq_cst);
+      node_type* next = g.protect(s_next, first->next);
+      if (first != head_.load(std::memory_order_seq_cst)) continue;
+      if (first == last) {
+        if (next == nullptr) {
+          desc_type* cur = g.protect(s_desc, state_[tid].get());
+          if (last == tail_.load(std::memory_order_seq_cst) && cur->pending &&
+              cur->phase <= phase) {
+            desc_type* fresh = pool_.make(my, cur->phase, false, false,
+                                          static_cast<node_type*>(nullptr));
+            swap_state(tid, my, cur, fresh);
+          }
+        } else {
+          help_finish_enq(my, g);
+        }
+      } else {
+        desc_type* cur = g.protect(s_desc, state_[tid].get());
+        node_type* node = cur->node;
+        if (!(cur->pending && cur->phase <= phase)) break;
+        if (first == head_.load(std::memory_order_seq_cst) && node != first) {
+          desc_type* fresh = pool_.make(my, cur->phase, true, false, first);
+          if (!swap_state(tid, my, cur, fresh)) continue;
+        }
+        std::int32_t expected = no_tid;
+        first->deq_tid.compare_exchange_strong(
+            expected, static_cast<std::int32_t>(tid),
+            std::memory_order_seq_cst);
+        help_finish_deq(my, g);
+      }
+    }
+  }
+
+  /// Finishes a claimed dequeue of EITHER kind: fast claims need only the
+  /// head swing; slow claims additionally complete step 2 into the owner's
+  /// descriptor (with the §3.4 value copy).
+  void help_finish_deq(std::uint32_t my, guard_t& g) {
+    node_type* first = g.protect(s_first, head_);
+    node_type* next = g.protect(s_next, first->next);
+    const std::int32_t dtid = first->deq_tid.load(std::memory_order_seq_cst);
+    if (dtid == no_tid) return;
+    if (is_fast_claim(dtid)) {
+      if (first == head_.load(std::memory_order_seq_cst) && next != nullptr) {
+        if (head_.compare_exchange_strong(first, next,
+                                          std::memory_order_seq_cst)) {
+          retire_node(my, first);
+        }
+      }
+      return;
+    }
+    const auto tid = static_cast<std::uint32_t>(dtid);
+    desc_type* cur = g.protect(s_desc, state_[tid].get());
+    if (first == head_.load(std::memory_order_seq_cst) && next != nullptr) {
+      desc_type* fresh =
+          pool_.make(my, cur->phase, false, false, cur->node, next->value);
+      swap_state(tid, my, cur, fresh);
+      if (head_.compare_exchange_strong(first, next,
+                                        std::memory_order_seq_cst)) {
+        retire_node(my, first);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------- data
+
+  const std::uint32_t n_;
+  Reclaimer reclaim_;
+  desc_pool<T> pool_;
+  std::vector<padded<std::uint32_t>> cursor_;  // help_someone's cyclic cursor
+  padded<std::atomic<std::int64_t>> phase_counter_{std::int64_t{0}};
+
+  alignas(destructive_interference) std::atomic<node_type*> head_{nullptr};
+  alignas(destructive_interference) std::atomic<node_type*> tail_{nullptr};
+  std::vector<padded<state_slot>> state_;
+};
+
+}  // namespace kpq

@@ -1,0 +1,68 @@
+#include "harness/cli.hpp"
+
+#include <cstdlib>
+
+namespace kpq {
+
+cli::cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      kv_.emplace_back(arg, argv[++i]);
+    } else {
+      kv_.emplace_back(arg, "");
+    }
+  }
+}
+
+const std::string* cli::find(const std::string& name) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+bool cli::get_flag(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::uint64_t cli::get_u64(const std::string& name, std::uint64_t def) const {
+  const std::string* v = find(name);
+  return (v != nullptr && !v->empty()) ? std::strtoull(v->c_str(), nullptr, 10)
+                                       : def;
+}
+
+double cli::get_double(const std::string& name, double def) const {
+  const std::string* v = find(name);
+  return (v != nullptr && !v->empty()) ? std::strtod(v->c_str(), nullptr) : def;
+}
+
+std::string cli::get_str(const std::string& name,
+                         const std::string& def) const {
+  const std::string* v = find(name);
+  return (v != nullptr && !v->empty()) ? *v : def;
+}
+
+std::vector<std::string> cli::unknown(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    (void)v;
+    bool found = false;
+    for (const auto& name : known) {
+      if (k == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace kpq

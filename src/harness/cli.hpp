@@ -1,0 +1,34 @@
+// Minimal command-line flag parser for the figure-reproduction binaries.
+//
+// Usage:
+//   cli args(argc, argv);
+//   auto iters = args.get_u64("iters", 20000);
+//   bool pin   = args.get_flag("pin");
+// Accepted forms: --name=value, --name value, --flag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kpq {
+
+class cli {
+ public:
+  cli(int argc, char** argv);
+
+  bool get_flag(const std::string& name) const;
+  std::uint64_t get_u64(const std::string& name, std::uint64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_str(const std::string& name, const std::string& def) const;
+
+  /// Any --name the binary never queried: typo detection in scripts.
+  std::vector<std::string> unknown(
+      const std::vector<std::string>& known) const;
+
+ private:
+  const std::string* find(const std::string& name) const;
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+}  // namespace kpq

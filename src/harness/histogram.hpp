@@ -1,0 +1,102 @@
+// Log2-bucketed histogram for latency recording.
+//
+// The percentile helpers in stats.hpp need every sample kept and sorted —
+// fine for bench-sized runs, wasteful for soak tests. This histogram keeps
+// 64 power-of-two buckets, supports lock-free concurrent recording
+// (relaxed per-bucket counters), merging, and conservative (upper-bound)
+// quantile queries. Resolution is a factor of two, which is exactly the
+// granularity latency-tail discussions care about.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace kpq {
+
+class log2_histogram {
+ public:
+  static constexpr std::size_t bucket_count = 64;
+
+  void add(std::uint64_t value) noexcept {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Bucket b holds values in [2^(b-1), 2^b), bucket 0 holds {0}.
+  static std::size_t bucket_of(std::uint64_t value) noexcept {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+  /// Inclusive upper bound of a bucket's value range.
+  static std::uint64_t bucket_upper(std::size_t b) noexcept {
+    return b == 0 ? 0 : (b >= 64 ? UINT64_MAX : (std::uint64_t{1} << b) - 1);
+  }
+
+  std::uint64_t count(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Conservative quantile: smallest bucket upper bound covering at least
+  /// q of the recorded samples.
+  std::uint64_t quantile_upper_bound(double q) const noexcept {
+    const std::uint64_t n = total();
+    if (n == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+      seen += count(b);
+      if (seen > target || (q >= 1.0 && seen == n)) return bucket_upper(b);
+    }
+    return bucket_upper(bucket_count - 1);
+  }
+
+  void merge(const log2_histogram& other) noexcept {
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+      buckets_[b].fetch_add(other.count(b), std::memory_order_relaxed);
+    }
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  /// Compact ASCII rendering of the non-empty range.
+  void print(std::FILE* out = stdout, const char* unit = "ns") const {
+    const std::uint64_t n = total();
+    if (n == 0) {
+      std::fprintf(out, "(empty histogram)\n");
+      return;
+    }
+    std::size_t lo = bucket_count, hi = 0;
+    std::uint64_t peak = 0;
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+      if (count(b) > 0) {
+        lo = std::min(lo, b);
+        hi = std::max(hi, b);
+        peak = std::max(peak, count(b));
+      }
+    }
+    for (std::size_t b = lo; b <= hi; ++b) {
+      const std::uint64_t c = count(b);
+      const auto bar = static_cast<int>(
+          c == 0 ? 0 : 1 + 39 * c / (peak == 0 ? 1 : peak));
+      std::fprintf(out, "%12llu %-3s |%-40.*s| %llu\n",
+                   static_cast<unsigned long long>(bucket_upper(b)), unit, bar,
+                   "########################################",
+                   static_cast<unsigned long long>(c));
+    }
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, bucket_count> buckets_{};
+};
+
+}  // namespace kpq

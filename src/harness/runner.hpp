@@ -1,0 +1,59 @@
+// Multi-threaded benchmark runner.
+//
+// Reproduces the paper's measurement methodology (§4): spawn k threads, each
+// running its workload loop; total completion time is measured from the
+// moment all threads are released (spin barrier) to the last join. Each data
+// point is repeated `reps` times and summarized.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "harness/affinity.hpp"
+#include "harness/stats.hpp"
+#include "harness/timing.hpp"
+#include "sync/spin_barrier.hpp"
+
+namespace kpq {
+
+struct run_config {
+  std::uint32_t threads = 1;
+  std::uint32_t reps = 1;
+  bool pin = false;  // pin thread i to cpu (i % hw_concurrency)
+};
+
+/// Body signature: (tid) -> void, executed once per thread per repetition.
+/// Returns wall-clock summary over `reps` repetitions, in seconds.
+template <typename Setup, typename Body>
+summary run_trials(const run_config& cfg, Setup&& setup, Body&& body) {
+  running_stats rs;
+  for (std::uint32_t rep = 0; rep < cfg.reps; ++rep) {
+    setup(rep);
+    spin_barrier barrier(cfg.threads + 1);
+    std::vector<std::thread> workers;
+    workers.reserve(cfg.threads);
+    for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+      workers.emplace_back([&, t] {
+        if (cfg.pin) pin_to_cpu(t);
+        barrier.arrive_and_wait();
+        body(t);
+      });
+    }
+    barrier.arrive_and_wait();  // release the fleet; start the clock
+    stopwatch sw;
+    for (auto& w : workers) w.join();
+    rs.add(sw.elapsed_s());
+  }
+  return rs.finish();
+}
+
+/// Convenience overload with no per-repetition setup.
+template <typename Body>
+summary run_trials(const run_config& cfg, Body&& body) {
+  return run_trials(
+      cfg, [](std::uint32_t) {}, std::forward<Body>(body));
+}
+
+}  // namespace kpq

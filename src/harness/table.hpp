@@ -1,0 +1,74 @@
+// Plain-text table / CSV emission for the figure-reproduction binaries.
+//
+// Each bench prints the same series the corresponding paper figure plots —
+// one row per x-value (thread count or queue size), one column per series
+// (LF, base WF, opt WF ...) — plus an optional CSV dump for replotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace kpq {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+      }
+    }
+    print_row(out, headers_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule.append(width[c] + (c ? 2 : 0), '-');
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(out, row, width);
+  }
+
+  void print_csv(std::FILE* out) const {
+    print_csv_row(out, headers_);
+    for (const auto& row : rows_) print_csv_row(out, row);
+  }
+
+ private:
+  static void print_row(std::FILE* out, const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c ? "  " : "",
+                   static_cast<int>(width[c]), cells[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  }
+  static void print_csv_row(std::FILE* out,
+                            const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%s%s", c ? "," : "", cells[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace kpq

@@ -1,0 +1,31 @@
+// Monotonic timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace kpq {
+
+using monotonic_clock = std::chrono::steady_clock;
+
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          monotonic_clock::now().time_since_epoch())
+          .count());
+}
+
+class stopwatch {
+ public:
+  stopwatch() : start_(now_ns()) {}
+  void reset() noexcept { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace kpq

@@ -1,0 +1,189 @@
+// Hazard pointers (Michael, IEEE TPDS 2004) — the wait-free reclamation
+// scheme §3.4 of the paper prescribes for the C++ port of the KP queue.
+//
+// Layout: `max_threads * slots_per_thread` announcement slots, each on its
+// own cache line, plus a per-thread retired list. retire() appends to the
+// owner's list; when the list crosses the scan threshold the owner scans all
+// announcement slots once and frees every retired object not announced.
+//
+// Progress: protect() is a validation loop, but each iteration corresponds
+// to the *source* pointer changing, which in the queues only happens when
+// some operation completes a step — so under the same argument the paper
+// uses for its retry loops, the loop is bounded once the thread's own phase
+// becomes the oldest. scan() is a bounded O(H + R) pass. retire() is O(1)
+// amortised, O(H + R) worst case. No step blocks on another thread.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "reclaim/reclaimer_concepts.hpp"
+#include "sync/cacheline.hpp"
+
+namespace kpq {
+
+class hp_domain {
+ public:
+  hp_domain(std::uint32_t max_threads, std::uint32_t slots_per_thread,
+            std::uint32_t scan_threshold = 0)
+      : max_threads_(max_threads),
+        slots_per_thread_(slots_per_thread),
+        slots_(static_cast<std::size_t>(max_threads) * slots_per_thread),
+        retired_(max_threads) {
+    const std::uint32_t total = max_threads * slots_per_thread;
+    // Michael's recommendation: R >= H * (1 + small constant). The +64
+    // amortises the scan for tiny configurations.
+    scan_threshold_ = scan_threshold ? scan_threshold : 2 * total + 64;
+  }
+
+  hp_domain(const hp_domain&) = delete;
+  hp_domain& operator=(const hp_domain&) = delete;
+
+  /// Frees everything still retired. Caller must guarantee quiescence (no
+  /// live guards), which container destructors do by construction.
+  ~hp_domain() {
+    for (auto& r : retired_) {
+      for (auto& item : r->items) item.fn(item.ctx, item.p);
+    }
+  }
+
+  class guard {
+   public:
+    guard(hp_domain& d, std::uint32_t tid) noexcept : d_(&d), tid_(tid) {}
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+    guard(guard&& o) noexcept : d_(o.d_), tid_(o.tid_) { o.d_ = nullptr; }
+
+    ~guard() {
+      if (d_) {
+        for (std::uint32_t i = 0; i < d_->slots_per_thread_; ++i) clear(i);
+      }
+    }
+
+    /// Protect the pointer currently stored in `src`: announce it, then
+    /// validate that `src` still holds it (otherwise the owner might already
+    /// have retired it before seeing our announcement). The seq_cst
+    /// store/load pair provides the StoreLoad ordering the protocol needs.
+    template <typename T>
+    T* protect(std::uint32_t slot, const std::atomic<T*>& src) noexcept {
+      std::atomic<void*>& h = d_->slot_ref(tid_, slot);
+      T* p = src.load(std::memory_order_acquire);
+      for (;;) {
+        h.store(const_cast<std::remove_const_t<T>*>(p),
+                std::memory_order_seq_cst);
+        T* q = src.load(std::memory_order_seq_cst);
+        if (q == p) return p;
+        p = q;
+      }
+    }
+
+    /// Announce a pointer the caller obtained (and will validate) itself.
+    template <typename T>
+    void protect_raw(std::uint32_t slot, T* p) noexcept {
+      d_->slot_ref(tid_, slot)
+          .store(const_cast<std::remove_const_t<T>*>(p),
+                 std::memory_order_seq_cst);
+    }
+
+    void clear(std::uint32_t slot) noexcept {
+      d_->slot_ref(tid_, slot).store(nullptr, std::memory_order_release);
+    }
+
+   private:
+    hp_domain* d_;
+    std::uint32_t tid_;
+  };
+
+  guard enter(std::uint32_t tid) noexcept {
+    assert(tid < max_threads_);
+    return guard(*this, tid);
+  }
+
+  /// Hand `p` to the domain; `fn(ctx, p)` runs once no announcement can
+  /// still name it.
+  void retire(std::uint32_t tid, void* p, retire_fn fn, void* ctx) {
+    assert(tid < max_threads_);
+    auto& r = retired_[tid].get();
+    r.items.push_back({p, fn, ctx});
+    retired_count_.fetch_add(1, std::memory_order_relaxed);
+    if (r.items.size() >= scan_threshold_) scan(tid);
+  }
+
+  /// One reclamation pass for `tid`'s retired list: free everything not
+  /// currently announced by any thread.
+  void scan(std::uint32_t tid) {
+    auto& r = retired_[tid].get();
+    std::vector<void*>& announced = r.scratch;
+    announced.clear();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (void* p = slots_[i]->load(std::memory_order_seq_cst)) {
+        announced.push_back(p);
+      }
+    }
+    std::sort(announced.begin(), announced.end());
+    std::size_t kept = 0;
+    for (auto& item : r.items) {
+      if (std::binary_search(announced.begin(), announced.end(), item.p)) {
+        r.items[kept++] = item;
+      } else {
+        item.fn(item.ctx, item.p);
+        freed_count_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    r.items.resize(kept);
+  }
+
+  // --- observability (tests assert reclamation actually happens) ---
+  std::uint64_t retired_count() const noexcept {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freed_count() const noexcept {
+    return freed_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t pending_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : retired_) n += r->items.size();
+    return n;
+  }
+  std::uint32_t slots_per_thread() const noexcept { return slots_per_thread_; }
+  std::uint32_t max_threads() const noexcept { return max_threads_; }
+  std::uint32_t scan_threshold() const noexcept { return scan_threshold_; }
+
+  /// Testing hook: what thread `tid` currently announces in `slot`.
+  void* announced(std::uint32_t tid, std::uint32_t slot) const noexcept {
+    return slots_[static_cast<std::size_t>(tid) * slots_per_thread_ + slot]
+        ->load(std::memory_order_seq_cst);
+  }
+
+ private:
+  struct retired_item {
+    void* p;
+    retire_fn fn;
+    void* ctx;
+  };
+  struct retired_list {
+    std::vector<retired_item> items;
+    std::vector<void*> scratch;  // reused across scans
+  };
+
+  std::atomic<void*>& slot_ref(std::uint32_t tid, std::uint32_t slot) noexcept {
+    assert(slot < slots_per_thread_);
+    return slots_[static_cast<std::size_t>(tid) * slots_per_thread_ + slot]
+        .get();
+  }
+
+  std::uint32_t max_threads_;
+  std::uint32_t slots_per_thread_;
+  std::uint32_t scan_threshold_;
+  std::vector<padded<std::atomic<void*>>> slots_;
+  std::vector<padded<retired_list>> retired_;
+  std::atomic<std::uint64_t> retired_count_{0};
+  std::atomic<std::uint64_t> freed_count_{0};
+};
+
+static_assert(reclaimer_domain<hp_domain>);
+
+}  // namespace kpq

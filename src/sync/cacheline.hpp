@@ -1,0 +1,45 @@
+// Cache-line sizing and padding utilities.
+//
+// Concurrent arrays indexed by thread id (the KP queue's `state` array, the
+// hazard-pointer slot table, per-thread retire lists, ...) suffer badly from
+// false sharing if neighbouring entries land on one cache line. Everything
+// per-thread in this library is wrapped in `padded<T>`.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace kpq {
+
+// std::hardware_destructive_interference_size is 64 on the x86-64 targets we
+// care about but is not always defined; 128 covers adjacent-line prefetchers.
+inline constexpr std::size_t cacheline_size = 64;
+inline constexpr std::size_t destructive_interference = 128;
+
+/// A T that owns (at least) one full cache line, eliminating false sharing
+/// between adjacent array elements. Transparent access via get()/operators.
+template <typename T>
+struct alignas(destructive_interference) padded {
+  T value;
+
+  padded() = default;
+
+  template <typename... Args>
+    requires std::is_constructible_v<T, Args...>
+  explicit padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& get() noexcept { return value; }
+  const T& get() const noexcept { return value; }
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+static_assert(alignof(padded<int>) >= cacheline_size);
+static_assert(sizeof(padded<int>) >= destructive_interference);
+
+}  // namespace kpq

@@ -1,0 +1,123 @@
+// Wait-free one-shot renaming via a Moir–Anderson splitter grid.
+//
+// Paper §3.3: "To support applications in which threads are created and
+// deleted dynamically and may have arbitrary IDs, threads can get and
+// release (virtual) IDs from a small name space through one of the known
+// long-lived wait-free renaming algorithms [1, 6]." Two substrates cover
+// this in kpq:
+//
+//   * kpq::thread_registry (sync/thread_registry.hpp) — the *long-lived*
+//     mechanism the queue actually uses: acquire/release of dense ids via a
+//     claim table; bounded (<= capacity CAS probes, each failure implying
+//     another thread's success), hence wait-free for a bounded namespace.
+//   * this file — the classic *one-shot* splitter-grid renaming (Moir &
+//     Anderson 1995; splitters after Lamport's fast mutex): k threads with
+//     arbitrary ids acquire distinct names in [0, k(k+1)/2), each in O(k)
+//     steps, with no release needed. Included as the literature algorithm
+//     the paper points to, with the grid walk observable for tests.
+//
+// Splitter: each visitor stores its id in `door`, then checks `closed`; if
+// closed it is diverted RIGHT; otherwise it closes the splitter and re-reads
+// `door` — if unchanged it STOPs (it was alone in the race window), else it
+// goes DOWN. Guarantees: at most one STOP per splitter; if m >= 1 threads
+// enter, at most m-1 leave right and at most m-1 leave down. Hence on the
+// grid with rows+cols < k every thread stops within k-1 moves.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sync/cacheline.hpp"
+
+namespace kpq {
+
+class splitter {
+ public:
+  enum class outcome { stop, right, down };
+
+  outcome visit(std::uint64_t id) noexcept {
+    door_.store(static_cast<std::int64_t>(id), std::memory_order_seq_cst);
+    if (closed_.load(std::memory_order_seq_cst)) return outcome::right;
+    closed_.store(true, std::memory_order_seq_cst);
+    if (door_.load(std::memory_order_seq_cst) ==
+        static_cast<std::int64_t>(id)) {
+      return outcome::stop;
+    }
+    return outcome::down;
+  }
+
+  bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::int64_t> door_{-1};
+  std::atomic<bool> closed_{false};
+};
+
+/// One-shot renaming for up to `k` concurrent participants with arbitrary
+/// distinct ids; names are in [0, k(k+1)/2).
+class splitter_grid_renaming {
+ public:
+  explicit splitter_grid_renaming(std::uint32_t k)
+      : k_(k), grid_(static_cast<std::size_t>(k) * k) {}
+
+  splitter_grid_renaming(const splitter_grid_renaming&) = delete;
+  splitter_grid_renaming& operator=(const splitter_grid_renaming&) = delete;
+
+  std::uint32_t name_space() const noexcept { return k_ * (k_ + 1) / 2; }
+  std::uint32_t max_participants() const noexcept { return k_; }
+
+  struct acquired {
+    std::uint32_t name;
+    std::uint32_t row;
+    std::uint32_t col;
+    std::uint32_t moves;  // grid steps taken (adaptivity observability)
+  };
+
+  /// `id` must be distinct among concurrent participants (e.g. a pointer
+  /// value or OS thread id). Wait-free: at most k-1 splitter visits.
+  acquired acquire(std::uint64_t id) noexcept {
+    std::uint32_t r = 0, c = 0, moves = 0;
+    for (;;) {
+      assert(r + c < k_ && "more than k participants in a k-grid");
+      switch (at(r, c).visit(id)) {
+        case splitter::outcome::stop:
+          return {name_of(r, c), r, c, moves};
+        case splitter::outcome::right:
+          ++c;
+          break;
+        case splitter::outcome::down:
+          ++r;
+          break;
+      }
+      ++moves;
+      if (r + c >= k_) {
+        // Unreachable if the precondition holds (splitter counting
+        // argument); fail closed rather than hand out a colliding name.
+        assert(false && "splitter grid overflow");
+        return {name_space() - 1, r, c, moves};
+      }
+    }
+  }
+
+ private:
+  splitter& at(std::uint32_t r, std::uint32_t c) noexcept {
+    return grid_[static_cast<std::size_t>(r) * k_ + c].get();
+  }
+
+  /// Dense index of the triangular grid position (r, c), r + c < k:
+  /// diagonal d = r + c holds d+1 cells; cells of earlier diagonals come
+  /// first.
+  std::uint32_t name_of(std::uint32_t r, std::uint32_t c) const noexcept {
+    const std::uint32_t d = r + c;
+    return d * (d + 1) / 2 + r;
+  }
+
+  std::uint32_t k_;
+  std::vector<padded<splitter>> grid_;
+};
+
+}  // namespace kpq

@@ -1,0 +1,48 @@
+// Sense-reversing spin barrier.
+//
+// The benchmark harness releases all worker threads simultaneously so that
+// per-run wall time measures steady-state contention, not thread start skew.
+// std::barrier exists, but a sense-reversing barrier lets us couple the last
+// arrival with starting the timer and keeps the hot path to one atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "sync/backoff.hpp"
+#include "sync/cacheline.hpp"
+
+namespace kpq {
+
+class spin_barrier {
+ public:
+  explicit spin_barrier(std::uint32_t parties) noexcept : parties_(parties) {}
+
+  spin_barrier(const spin_barrier&) = delete;
+  spin_barrier& operator=(const spin_barrier&) = delete;
+
+  /// Blocks until `parties` threads have arrived. Returns true for exactly
+  /// one caller per generation (the last arrival), which benchmarks use to
+  /// start the clock.
+  bool arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return true;
+    }
+    backoff bo(64);
+    while (sense_.load(std::memory_order_acquire) != my_sense) bo();
+    return false;
+  }
+
+  std::uint32_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::uint32_t parties_;
+  alignas(destructive_interference) std::atomic<std::uint32_t> count_{0};
+  alignas(destructive_interference) std::atomic<bool> sense_{false};
+};
+
+}  // namespace kpq

@@ -1,0 +1,66 @@
+#include "sync/thread_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kpq {
+namespace {
+
+struct tid_holder {
+  std::uint32_t tid;
+  bool owned = false;
+
+  tid_holder() {
+    tid = thread_registry::instance().acquire();
+    owned = true;
+  }
+  ~tid_holder() {
+    if (owned) thread_registry::instance().release(tid);
+  }
+};
+
+}  // namespace
+
+thread_registry& thread_registry::instance() noexcept {
+  static thread_registry reg;
+  return reg;
+}
+
+std::uint32_t thread_registry::current_tid() noexcept {
+  thread_local tid_holder holder;
+  return holder.tid;
+}
+
+std::uint32_t thread_registry::acquire() noexcept {
+  for (std::uint32_t i = 0; i < max_registered_threads; ++i) {
+    bool expected = false;
+    if (!claimed_[i]->load(std::memory_order_relaxed) &&
+        claimed_[i]->compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+      return i;
+    }
+  }
+  std::fprintf(stderr,
+               "kpq::thread_registry: more than %u concurrent threads\n",
+               max_registered_threads);
+  std::abort();
+}
+
+void thread_registry::release(std::uint32_t tid) noexcept {
+  claimed_[tid]->store(false, std::memory_order_release);
+}
+
+std::uint32_t thread_registry::high_water() const noexcept {
+  std::uint32_t hw = 0;
+  for (std::uint32_t i = 0; i < max_registered_threads; ++i) {
+    if (claimed_[i]->load(std::memory_order_acquire)) hw = i + 1;
+  }
+  return hw;
+}
+
+bool thread_registry::is_claimed(std::uint32_t tid) const noexcept {
+  return tid < max_registered_threads &&
+         claimed_[tid]->load(std::memory_order_acquire);
+}
+
+}  // namespace kpq

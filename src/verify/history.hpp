@@ -1,0 +1,91 @@
+// Concurrent-history recording.
+//
+// The paper proves linearizability (§5.2); this library *tests* it. Worker
+// threads record one event per operation with invocation and response
+// timestamps drawn from a single atomic counter, which yields a total order
+// of the timestamp draws consistent with real time: if operation A's
+// response draw happens before B's invocation draw, then A really did
+// complete before B began. That is exactly the precedence relation
+// linearizability constrains, so the checkers can consume the log directly.
+//
+// Recording is per-thread (padded, unsynchronized vectors) and merged after
+// the run; the only shared write is the timestamp counter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sync/cacheline.hpp"
+
+namespace kpq {
+
+enum class op_kind : std::uint8_t { enq, deq };
+
+struct op_event {
+  op_kind kind;
+  bool ok;              // deq only: false = returned empty
+  std::uint32_t tid;
+  std::uint64_t value;  // enq: value inserted; deq: value returned (if ok)
+  std::uint64_t inv;    // invocation timestamp
+  std::uint64_t res;    // response timestamp
+};
+
+class history_recorder {
+ public:
+  explicit history_recorder(std::uint32_t max_threads)
+      : per_thread_(max_threads) {}
+
+  std::uint64_t stamp() noexcept {
+    return clock_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void record(std::uint32_t tid, op_event e) { per_thread_[tid]->push_back(e); }
+
+  /// RAII helper: stamps invocation on construction; the caller fills in
+  /// the outcome and commit()s, which stamps the response.
+  class scope {
+   public:
+    scope(history_recorder& h, std::uint32_t tid, op_kind kind,
+          std::uint64_t value = 0)
+        : h_(h), e_{kind, true, tid, value, h.stamp(), 0} {}
+
+    void set_value(std::uint64_t v) noexcept { e_.value = v; }
+    void set_empty() noexcept { e_.ok = false; }
+
+    void commit() {
+      e_.res = h_.stamp();
+      h_.record(e_.tid, e_);
+    }
+
+   private:
+    history_recorder& h_;
+    op_event e_;
+  };
+
+  scope begin(std::uint32_t tid, op_kind kind, std::uint64_t value = 0) {
+    return scope(*this, tid, kind, value);
+  }
+
+  /// Merge per-thread logs (call after all workers joined).
+  std::vector<op_event> collect() const {
+    std::vector<op_event> all;
+    std::size_t total = 0;
+    for (const auto& v : per_thread_) total += v->size();
+    all.reserve(total);
+    for (const auto& v : per_thread_) {
+      all.insert(all.end(), v->begin(), v->end());
+    }
+    return all;
+  }
+
+  void clear() {
+    for (auto& v : per_thread_) v->clear();
+  }
+
+ private:
+  std::atomic<std::uint64_t> clock_{1};
+  std::vector<padded<std::vector<op_event>>> per_thread_;
+};
+
+}  // namespace kpq

@@ -1,0 +1,101 @@
+// Exhaustive linearizability checker for small FIFO-queue histories
+// (Wing & Gong style search).
+//
+// A history is linearizable iff there is a total order of its operations
+// that (a) respects real-time precedence (op A before op B whenever
+// A.res < B.inv) and (b) is a legal sequential FIFO execution: each
+// successful dequeue returns the current front, each empty dequeue runs on
+// an empty queue.
+//
+// The search linearizes one "minimal" operation at a time — an operation is
+// eligible to go next iff no un-linearized operation completed strictly
+// before it began — and memoizes on (set of linearized ops, queue content).
+// Exponential in the worst case; intended for histories up to ~20 operations
+// (tests feed it crafted scenarios and tiny concurrent runs to cross-check
+// fifo_checker).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "verify/history.hpp"
+
+namespace kpq {
+
+class lin_checker {
+ public:
+  /// True iff `history` (completed operations only) is linearizable w.r.t. a
+  /// FIFO queue that starts empty.
+  static bool is_linearizable(std::vector<op_event> history) {
+    if (history.size() > 63) return false;  // out of scope for brute force
+    lin_checker c(std::move(history));
+    return c.search(0, {});
+  }
+
+ private:
+  explicit lin_checker(std::vector<op_event> h) : ops_(std::move(h)) {
+    std::sort(ops_.begin(), ops_.end(),
+              [](const op_event& a, const op_event& b) {
+                return a.inv < b.inv;
+              });
+  }
+
+  bool search(std::uint64_t done_mask, std::deque<std::uint64_t> queue) {
+    if (done_mask == (std::uint64_t{1} << ops_.size()) - 1) return true;
+    if (!memo_.insert(state_key(done_mask, queue)).second) return false;
+
+    // Earliest response among un-linearized operations: only ops invoked
+    // before it may linearize next.
+    std::uint64_t min_res = UINT64_MAX;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if ((done_mask >> i) & 1) continue;
+      min_res = std::min(min_res, ops_[i].res);
+    }
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if ((done_mask >> i) & 1) continue;
+      const op_event& op = ops_[i];
+      if (op.inv > min_res) break;  // ops_ sorted by inv: none later qualifies
+
+      if (op.kind == op_kind::enq) {
+        auto next = queue;
+        next.push_back(op.value);
+        if (search(done_mask | (std::uint64_t{1} << i), std::move(next))) {
+          return true;
+        }
+      } else if (!op.ok) {  // dequeue returned empty
+        if (queue.empty() &&
+            search(done_mask | (std::uint64_t{1} << i), queue)) {
+          return true;
+        }
+      } else {  // successful dequeue must pop the current front
+        if (!queue.empty() && queue.front() == op.value) {
+          auto next = queue;
+          next.pop_front();
+          if (search(done_mask | (std::uint64_t{1} << i), std::move(next))) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  static std::string state_key(std::uint64_t mask,
+                               const std::deque<std::uint64_t>& q) {
+    std::string key(reinterpret_cast<const char*>(&mask), sizeof(mask));
+    for (std::uint64_t v : q) {
+      key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+    return key;
+  }
+
+  std::vector<op_event> ops_;
+  std::unordered_set<std::string> memo_;
+};
+
+}  // namespace kpq

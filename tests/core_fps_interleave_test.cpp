@@ -1,0 +1,184 @@
+// Exhaustive interleaving exploration of the fast-path/slow-path queue's
+// cross-path races — the part of wf_queue_fps that neither the base queue's
+// explorer nor OS-thread stress can pin down deterministically:
+//
+//   * fast deqTid claim vs slow deqTid claim on the same sentinel;
+//   * fast link (anonymous node) vs slow link (announced node);
+//   * helpers finishing claims/links of the other path.
+//
+// Same method as core_interleave_test: DFS over all schedules of the step
+// machines, each completed run checked by the exact linearizability checker.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/fps_machines.hpp"
+#include "verify/history.hpp"
+#include "verify/lin_checker.hpp"
+
+namespace kpq {
+namespace {
+
+using testing::build_fps_machine;
+using testing::fast_deq_machine;
+using testing::fps_machine;
+using testing::fps_op_spec;
+using testing::fq;
+using testing::slow_deq_machine;
+
+using K = fps_op_spec::kind;
+
+bool is_deq(K k) { return k == K::fast_deq || k == K::slow_deq; }
+
+std::optional<std::uint64_t> result_of(fps_machine* m, K k) {
+  if (k == K::fast_deq) return static_cast<fast_deq_machine*>(m)->result;
+  return static_cast<slow_deq_machine*>(m)->result;
+}
+
+::testing::AssertionResult run_schedule(const std::vector<fps_op_spec>& specs,
+                                        const std::vector<std::size_t>& sched,
+                                        std::uint64_t prefill) {
+  fq q(4);
+  for (std::uint64_t i = 0; i < prefill; ++i) q.enqueue(1000 + i, 3);
+
+  std::vector<std::unique_ptr<fps_machine>> ms;
+  for (const auto& s : specs) ms.push_back(build_fps_machine(s));
+
+  std::uint64_t clock = 1;
+  auto step_machine = [&](std::size_t i) {
+    fps_machine& m = *ms[i];
+    if (m.done) return;
+    if (m.inv == 0) m.inv = clock++;
+    if (m.step(q)) {
+      m.done = true;
+      m.res = clock++;
+    } else {
+      ++clock;
+    }
+  };
+
+  for (std::size_t i : sched) step_machine(i);
+  for (int guard = 0; guard < 1000; ++guard) {
+    bool all_done = true;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      if (!ms[i]->done) {
+        all_done = false;
+        step_machine(i);
+      }
+    }
+    if (all_done) break;
+  }
+  for (auto& m : ms) {
+    if (!m->done) {
+      return ::testing::AssertionFailure() << "machine failed to terminate";
+    }
+  }
+
+  std::vector<op_event> h;
+  std::uint64_t pre_ts = 0;
+  for (std::uint64_t i = 0; i < prefill; ++i) {
+    h.push_back({op_kind::enq, true, 3, 1000 + i, pre_ts, pre_ts + 1});
+    pre_ts += 2;
+  }
+  const std::uint64_t base = pre_ts;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const auto& s = specs[i];
+    if (is_deq(s.k)) {
+      auto r = result_of(ms[i].get(), s.k);
+      h.push_back({op_kind::deq, r.has_value(), s.tid, r.value_or(0),
+                   base + ms[i]->inv, base + ms[i]->res});
+    } else {
+      h.push_back({op_kind::enq, true, s.tid, s.value, base + ms[i]->inv,
+                   base + ms[i]->res});
+    }
+  }
+  std::uint64_t drain_ts = base + 10000;
+  while (auto v = q.dequeue(3)) {
+    h.push_back({op_kind::deq, true, 3, *v, drain_ts, drain_ts + 1});
+    drain_ts += 2;
+  }
+
+  if (!lin_checker::is_linearizable(h)) {
+    std::string sstr;
+    for (std::size_t i : sched) sstr += std::to_string(i);
+    return ::testing::AssertionFailure()
+           << "schedule " << sstr << " produced a non-linearizable history";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void explore_all(const std::vector<fps_op_spec>& specs, std::uint64_t prefill,
+                 int budget) {
+  std::vector<std::size_t> sched;
+  std::uint64_t count = 0;
+  std::function<void()> dfs = [&] {
+    if (static_cast<int>(sched.size()) == budget) {
+      ++count;
+      ASSERT_TRUE(run_schedule(specs, sched, prefill));
+      return;
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      sched.push_back(i);
+      dfs();
+      sched.pop_back();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  };
+  dfs();
+  EXPECT_GT(count, 0u);
+}
+
+// ------------------------------------------------------------------ tests
+
+TEST(FpsInterleave, FastClaimRacesSlowClaimOnOneElement) {
+  // The central interop hazard: both claim styles target the same
+  // write-once deqTid. Exactly one gets the element in every schedule.
+  explore_all({{K::fast_deq, 0}, {K::slow_deq, 1}}, /*prefill=*/1,
+              /*budget=*/12);
+}
+
+TEST(FpsInterleave, FastClaimRacesSlowClaimTwoElements) {
+  explore_all({{K::fast_deq, 0}, {K::slow_deq, 1}}, /*prefill=*/2,
+              /*budget=*/12);
+}
+
+TEST(FpsInterleave, TwoFastClaimsRace) {
+  explore_all({{K::fast_deq, 0}, {K::fast_deq, 1}}, /*prefill=*/1,
+              /*budget=*/12);
+}
+
+TEST(FpsInterleave, FastLinkRacesSlowLink) {
+  explore_all({{K::fast_enq, 0, 100}, {K::slow_enq, 1, 200}}, /*prefill=*/0,
+              /*budget=*/12);
+}
+
+TEST(FpsInterleave, FastEnqueueRacesSlowDequeueOnEmpty) {
+  explore_all({{K::fast_enq, 0, 100}, {K::slow_deq, 1}}, /*prefill=*/0,
+              /*budget=*/12);
+}
+
+TEST(FpsInterleave, SlowEnqueueRacesFastDequeueOnEmpty) {
+  explore_all({{K::slow_enq, 0, 100}, {K::fast_deq, 1}}, /*prefill=*/0,
+              /*budget=*/12);
+}
+
+TEST(FpsInterleave, ThreeWayCrossPathRace) {
+  // fast enq + slow deq + fast deq over one prefilled element: 3^8
+  // schedules covering claim ordering, dangling-link helping and the empty
+  // path in one scenario family.
+  explore_all({{K::fast_enq, 0, 100}, {K::slow_deq, 1}, {K::fast_deq, 2}},
+              /*prefill=*/1, /*budget=*/8);
+}
+
+TEST(FpsInterleave, SlowPairRacesFastPair) {
+  explore_all({{K::slow_enq, 0, 100}, {K::fast_enq, 1, 200},
+               {K::slow_deq, 2}},
+              /*prefill=*/0, /*budget=*/8);
+}
+
+}  // namespace
+}  // namespace kpq

@@ -1,0 +1,252 @@
+// Isolated unit tests for the core policy objects: phase assignment
+// (doorway property), helping candidate selection, and the descriptor cache.
+// The help policies are exercised against a mock queue that records which
+// entries they inspect, so candidate-selection logic is pinned independently
+// of queue behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/desc_pool.hpp"
+#include "core/help_policy.hpp"
+#include "core/phase_policy.hpp"
+#include "core/wf_queue.hpp"
+#include "harness/mem_tracker.hpp"
+#include "sync/spin_barrier.hpp"
+
+namespace kpq {
+namespace {
+
+// ---------------------------------------------------------------- mock queue
+
+struct mock_guard {};
+
+struct mock_queue {
+  std::uint32_t n;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> helped;  // (helped, by)
+
+  std::uint32_t max_threads() const { return n; }
+  void help_if_needed(std::uint32_t i, std::int64_t /*phase*/, mock_guard&,
+                      std::uint32_t my) {
+    helped.emplace_back(i, my);
+  }
+};
+
+TEST(HelpAll, VisitsEveryEntryInOrder) {
+  mock_queue q{4, {}};
+  mock_guard g;
+  help_all policy(4);
+  policy.run(q, 2, 10, g);
+  ASSERT_EQ(q.helped.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.helped[i].first, i);
+    EXPECT_EQ(q.helped[i].second, 2u);
+  }
+}
+
+TEST(HelpOne, CyclesThroughCandidatesAndAlwaysHelpsSelf) {
+  mock_queue q{3, {}};
+  mock_guard g;
+  help_one policy(3);
+  // Thread 0's cursor starts at 0; each run helps (candidate if != self)
+  // then self. Expected candidate sequence: 0(skip, ==self), 1, 2, 0(skip)...
+  policy.run(q, 0, 1, g);  // cursor 0 == self: only self helped
+  policy.run(q, 0, 2, g);  // candidate 1, then self
+  policy.run(q, 0, 3, g);  // candidate 2, then self
+  policy.run(q, 0, 4, g);  // cursor wrapped to 0 == self again
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> expected = {
+      {0, 0}, {1, 0}, {0, 0}, {2, 0}, {0, 0}, {0, 0}};
+  EXPECT_EQ(q.helped, expected);
+}
+
+TEST(HelpOne, EveryPeerIsReachedWithinNRounds) {
+  constexpr std::uint32_t n = 5;
+  mock_queue q{n, {}};
+  mock_guard g;
+  help_one policy(n);
+  for (std::uint32_t round = 0; round < n; ++round) policy.run(q, 1, 1, g);
+  std::set<std::uint32_t> candidates;
+  for (auto [helped, by] : q.helped) candidates.insert(helped);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(candidates.count(i)) << "peer " << i << " never considered";
+  }
+}
+
+TEST(HelpChunk, VisitsKCandidatesPerRunAndWraps) {
+  constexpr std::uint32_t n = 4;
+  mock_queue q{n, {}};
+  mock_guard g;
+  help_chunk<2> policy(n);
+  policy.run(q, 3, 1, g);  // candidates 0,1 + self
+  ASSERT_EQ(q.helped.size(), 3u);
+  EXPECT_EQ(q.helped[0].first, 0u);
+  EXPECT_EQ(q.helped[1].first, 1u);
+  EXPECT_EQ(q.helped[2].first, 3u);
+  q.helped.clear();
+  policy.run(q, 3, 1, g);  // candidates 2,3(skip) + self
+  ASSERT_EQ(q.helped.size(), 2u);
+  EXPECT_EQ(q.helped[0].first, 2u);
+  EXPECT_EQ(q.helped[1].first, 3u);
+}
+
+TEST(HelpRandom, AlwaysHelpsSelfAndEventuallyEveryPeer) {
+  constexpr std::uint32_t n = 4;
+  mock_queue q{n, {}};
+  mock_guard g;
+  help_random policy(n);
+  std::set<std::uint32_t> candidates;
+  for (int round = 0; round < 200; ++round) {
+    q.helped.clear();
+    policy.run(q, 0, 1, g);
+    ASSERT_FALSE(q.helped.empty());
+    EXPECT_EQ(q.helped.back().first, 0u) << "self must always be helped";
+    for (auto [h, by] : q.helped) candidates.insert(h);
+  }
+  EXPECT_EQ(candidates.size(), n) << "probabilistic coverage failed badly";
+}
+
+// ------------------------------------------------------------ phase policies
+
+template <typename P>
+class PhasePolicyTest : public ::testing::Test {};
+
+using PhaseTypes = ::testing::Types<fetch_add_phase, cas_phase>;
+TYPED_TEST_SUITE(PhasePolicyTest, PhaseTypes);
+
+TYPED_TEST(PhasePolicyTest, SequentialPhasesAreNonDecreasingAndFresh) {
+  // The doorway property needs: a phase chosen after another operation
+  // *completed* its choice is >= that phase (ties allowed for cas_phase).
+  wf_queue_base<std::uint64_t> dummy(1);  // unused by counter policies
+  TypeParam p(4);
+  mock_guard g;
+  std::int64_t prev = -1;
+  for (int i = 0; i < 100; ++i) {
+    std::int64_t ph = p.next_phase(dummy, g, 0);
+    EXPECT_GE(ph, prev);
+    prev = ph;
+  }
+}
+
+TYPED_TEST(PhasePolicyTest, ConcurrentPhasesRespectTheDoorway) {
+  TypeParam p(8);
+  wf_queue_base<std::uint64_t> dummy(1);
+  constexpr int kThreads = 4, kOps = 500;
+  std::vector<std::vector<std::int64_t>> seen(kThreads);
+  spin_barrier barrier(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      mock_guard g;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        seen[t].push_back(p.next_phase(dummy, g, static_cast<std::uint32_t>(t)));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  // Per-thread monotone non-decreasing (each next call starts after the
+  // previous completed).
+  for (auto& v : seen) {
+    for (std::size_t i = 1; i < v.size(); ++i) EXPECT_GE(v[i], v[i - 1]);
+  }
+  // fetch_add must additionally be globally unique.
+  if constexpr (std::is_same_v<TypeParam, fetch_add_phase>) {
+    std::set<std::int64_t> all;
+    for (auto& v : seen) all.insert(v.begin(), v.end());
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kOps));
+  }
+}
+
+TEST(ScanMaxPhase, ReturnsOneAboveTheMaximumInState) {
+  wf_queue_base<std::uint64_t> q(4);
+  scan_max_phase p(4);
+  hp_domain dom(1, 5);
+  auto g = dom.enter(0);
+  // Fresh queue: all descriptors carry phase -1, so the first phase is 0.
+  EXPECT_EQ(p.next_phase(q, g, 0), 0);
+  q.enqueue(1, 2);  // thread 2's descriptor now carries phase 0
+  EXPECT_EQ(p.next_phase(q, g, 0), 1);
+  q.enqueue(2, 1);
+  EXPECT_EQ(p.next_phase(q, g, 0), 2);
+  (void)q.dequeue(3);
+  EXPECT_EQ(p.next_phase(q, g, 0), 3);
+}
+
+// ---------------------------------------------------------------- desc_pool
+
+TEST(DescPool, RecycleReusesTheSameAllocation) {
+  desc_pool<std::uint64_t> pool(2, /*enabled=*/true, nullptr);
+  auto* a = pool.make(0, std::int64_t{1}, true, true, nullptr);
+  pool.recycle(0, a);
+  EXPECT_EQ(pool.cached(0), 1u);
+  auto* b = pool.make(0, std::int64_t{2}, false, false, nullptr);
+  EXPECT_EQ(b, a) << "cache must hand back the recycled allocation";
+  EXPECT_EQ(b->phase, 2);
+  EXPECT_FALSE(b->pending);
+  pool.recycle(0, b);
+}
+
+TEST(DescPool, DisabledPoolNeverCaches) {
+  desc_pool<std::uint64_t> pool(1, /*enabled=*/false, nullptr);
+  auto* a = pool.make(0, std::int64_t{1}, true, true, nullptr);
+  pool.recycle(0, a);  // deletes immediately
+  EXPECT_EQ(pool.cached(0), 0u);
+}
+
+TEST(DescPool, CacheIsPerThread) {
+  desc_pool<std::uint64_t> pool(2, true, nullptr);
+  auto* a = pool.make(0, std::int64_t{1}, true, true, nullptr);
+  pool.recycle(0, a);
+  EXPECT_EQ(pool.cached(0), 1u);
+  EXPECT_EQ(pool.cached(1), 0u);
+  // Thread 1's make must not steal thread 0's cache.
+  auto* b = pool.make(1, std::int64_t{2}, true, true, nullptr);
+  EXPECT_NE(b, a);
+  EXPECT_EQ(pool.cached(0), 1u);
+  pool.recycle(1, b);
+}
+
+TEST(DescPool, CapBoundsTheCache) {
+  desc_pool<std::uint64_t> pool(1, true, nullptr, /*cache_cap=*/2);
+  auto* a = pool.make(0, std::int64_t{1}, true, true, nullptr);
+  auto* b = pool.make(0, std::int64_t{2}, true, true, nullptr);
+  auto* c = pool.make(0, std::int64_t{3}, true, true, nullptr);
+  pool.recycle(0, a);
+  pool.recycle(0, b);
+  pool.recycle(0, c);  // over cap: deleted
+  EXPECT_EQ(pool.cached(0), 2u);
+}
+
+TEST(DescPool, AccountingTracksFreshAllocationsOnly) {
+  class probe : public mem_tracked {};
+  probe acct;
+  mem_counters mc;
+  acct.set_memory_counters(&mc);
+  desc_pool<std::uint64_t> pool(1, true, &acct);
+  auto* a = pool.make(0, std::int64_t{1}, true, true, nullptr);
+  EXPECT_EQ(mc.live_objects(), 1);
+  pool.recycle(0, a);
+  EXPECT_EQ(mc.live_objects(), 1) << "cached descriptors stay live";
+  auto* b = pool.make(0, std::int64_t{2}, true, true, nullptr);
+  EXPECT_EQ(mc.live_objects(), 1) << "reuse is not a fresh allocation";
+  pool.recycle(0, b);
+  pool.purge();
+  EXPECT_EQ(mc.live_objects(), 0);
+}
+
+TEST(DescPool, FreshAllocCounterGrowsOnlyOnMisses) {
+  desc_pool<std::uint64_t> pool(1, true, nullptr);
+  auto* a = pool.make(0, std::int64_t{1}, true, true, nullptr);
+  EXPECT_EQ(pool.fresh_allocs(), 1u);
+  pool.recycle(0, a);
+  auto* b = pool.make(0, std::int64_t{2}, true, true, nullptr);
+  EXPECT_EQ(pool.fresh_allocs(), 1u);
+  pool.recycle(0, b);
+}
+
+}  // namespace
+}  // namespace kpq

@@ -1,0 +1,78 @@
+// Tests for the log2 latency histogram.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "harness/histogram.hpp"
+#include "sync/spin_barrier.hpp"
+
+namespace kpq {
+namespace {
+
+TEST(Log2Histogram, BucketBoundaries) {
+  EXPECT_EQ(log2_histogram::bucket_of(0), 0u);
+  EXPECT_EQ(log2_histogram::bucket_of(1), 1u);
+  EXPECT_EQ(log2_histogram::bucket_of(2), 2u);
+  EXPECT_EQ(log2_histogram::bucket_of(3), 2u);
+  EXPECT_EQ(log2_histogram::bucket_of(4), 3u);
+  EXPECT_EQ(log2_histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(log2_histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(log2_histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(log2_histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(log2_histogram::bucket_upper(10), 1023u);
+}
+
+TEST(Log2Histogram, CountsAndTotal) {
+  log2_histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  h.add(0);
+  h.add(1);
+  h.add(100);
+  h.add(100);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(log2_histogram::bucket_of(100)), 2u);
+}
+
+TEST(Log2Histogram, QuantileUpperBoundsAreConservative) {
+  log2_histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);     // bucket upper 15
+  for (int i = 0; i < 10; ++i) h.add(5000);   // bucket upper 8191
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 15u);
+  EXPECT_EQ(h.quantile_upper_bound(0.89), 15u);
+  EXPECT_EQ(h.quantile_upper_bound(0.95), 8191u);
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 8191u);
+}
+
+TEST(Log2Histogram, MergeAndReset) {
+  log2_histogram a, b;
+  a.add(7);
+  b.add(7);
+  b.add(9000);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(log2_histogram::bucket_of(7)), 2u);
+  a.reset();
+  EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(Log2Histogram, ConcurrentRecordingLosesNothing) {
+  log2_histogram h;
+  constexpr int kThreads = 4, kPer = 10000;
+  spin_barrier barrier(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kPer; ++i) {
+        h.add(static_cast<std::uint64_t>(t * 1000 + i % 977));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(h.total(), static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+}  // namespace
+}  // namespace kpq

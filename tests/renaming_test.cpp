@@ -1,0 +1,143 @@
+// Tests for the splitter and the Moir–Anderson grid renaming.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "sync/renaming.hpp"
+#include "sync/spin_barrier.hpp"
+
+namespace kpq {
+namespace {
+
+// ---------------------------------------------------------------- splitter
+
+TEST(Splitter, SoloVisitorStops) {
+  splitter s;
+  EXPECT_EQ(s.visit(1), splitter::outcome::stop);
+  EXPECT_TRUE(s.closed());
+}
+
+TEST(Splitter, SecondSequentialVisitorGoesRight) {
+  splitter s;
+  EXPECT_EQ(s.visit(1), splitter::outcome::stop);
+  EXPECT_EQ(s.visit(2), splitter::outcome::right);
+  EXPECT_EQ(s.visit(3), splitter::outcome::right);
+}
+
+TEST(Splitter, AtMostOneStopUnderConcurrency) {
+  for (int rep = 0; rep < 100; ++rep) {
+    splitter s;
+    constexpr int kThreads = 4;
+    std::atomic<int> stops{0}, rights{0}, downs{0};
+    spin_barrier b(kThreads);
+    std::vector<std::thread> ts;
+    for (int i = 0; i < kThreads; ++i) {
+      ts.emplace_back([&, i] {
+        b.arrive_and_wait();
+        switch (s.visit(static_cast<std::uint64_t>(i + 1))) {
+          case splitter::outcome::stop:
+            stops.fetch_add(1);
+            break;
+          case splitter::outcome::right:
+            rights.fetch_add(1);
+            break;
+          case splitter::outcome::down:
+            downs.fetch_add(1);
+            break;
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_LE(stops.load(), 1) << "splitter let two threads stop";
+    // Splitter lemma: not everyone can be diverted the same way.
+    EXPECT_LT(rights.load(), kThreads);
+    EXPECT_LT(downs.load(), kThreads);
+  }
+}
+
+// -------------------------------------------------------------------- grid
+
+TEST(SplitterGrid, SoloParticipantGetsNameZeroInZeroMoves) {
+  splitter_grid_renaming g(8);
+  auto a = g.acquire(12345);
+  EXPECT_EQ(a.name, 0u);
+  EXPECT_EQ(a.moves, 0u);
+}
+
+TEST(SplitterGrid, SequentialParticipantsGetDistinctSmallNames) {
+  splitter_grid_renaming g(4);
+  std::set<std::uint32_t> names;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    auto a = g.acquire(id);
+    EXPECT_TRUE(names.insert(a.name).second) << "duplicate name " << a.name;
+    EXPECT_LT(a.name, g.name_space());
+  }
+  // Sequential arrivals walk the top row: adaptive naming keeps them tiny.
+  EXPECT_LE(*names.rbegin(), g.name_space() - 1);
+}
+
+TEST(SplitterGrid, NameSpaceIsTriangular) {
+  EXPECT_EQ(splitter_grid_renaming(1).name_space(), 1u);
+  EXPECT_EQ(splitter_grid_renaming(4).name_space(), 10u);
+  EXPECT_EQ(splitter_grid_renaming(16).name_space(), 136u);
+}
+
+TEST(SplitterGrid, ConcurrentParticipantsGetDistinctNamesWithinBound) {
+  constexpr std::uint32_t k = 8;
+  for (int rep = 0; rep < 50; ++rep) {
+    splitter_grid_renaming g(k);
+    std::vector<std::uint32_t> names(k);
+    std::vector<std::uint32_t> moves(k);
+    spin_barrier b(k);
+    std::vector<std::thread> ts;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      ts.emplace_back([&, i] {
+        b.arrive_and_wait();
+        auto a = g.acquire(0x1000 + i);
+        names[i] = a.name;
+        moves[i] = a.moves;
+      });
+    }
+    for (auto& t : ts) t.join();
+    std::set<std::uint32_t> unique(names.begin(), names.end());
+    ASSERT_EQ(unique.size(), static_cast<std::size_t>(k))
+        << "name collision at rep " << rep;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      EXPECT_LT(names[i], g.name_space());
+      EXPECT_LE(moves[i], k - 1) << "walk exceeded the wait-free bound";
+    }
+  }
+}
+
+TEST(SplitterGrid, MixedWavesStayDistinctAcrossTheShot) {
+  // One-shot semantics: names are never recycled, so even threads arriving
+  // in waves must all be distinct (as long as total <= ... the grid handles
+  // up to k CONCURRENT participants; sequential arrivals consume the top
+  // row). Keep total <= k to stay within the one-shot contract.
+  constexpr std::uint32_t k = 6;
+  splitter_grid_renaming g(k);
+  std::set<std::uint32_t> names;
+  std::mutex m;
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<std::thread> ts;
+    spin_barrier b(3);
+    for (int i = 0; i < 3; ++i) {
+      ts.emplace_back([&, wave, i] {
+        b.arrive_and_wait();
+        auto a = g.acquire(static_cast<std::uint64_t>(wave) * 100 + i + 1);
+        std::lock_guard<std::mutex> lk(m);
+        EXPECT_TRUE(names.insert(a.name).second);
+      });
+    }
+    for (auto& t : ts) t.join();
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+}  // namespace
+}  // namespace kpq

@@ -1,0 +1,119 @@
+// Shape regressions: miniature versions of the paper's experiments whose
+// *qualitative* outcomes are stable enough to assert in CI. Absolute
+// timings are hardware-dependent; these invariants are not:
+//
+//   * Figure 10's asymptote: the per-node space ratio approaches
+//     sizeof(wf_node)/sizeof(ms_node) = 1.5 as the queue grows;
+//   * Figure 7/9's ordering: the lock-free queue completes the pairs
+//     workload faster than the base wait-free queue at oversubscription
+//     (the paper's universal observation outside the CentOS anomaly), and
+//     the fully-optimized variant does not lose to the base variant by any
+//     meaningful margin;
+//   * fps ordering: the fast-path/slow-path queue lands between LF and the
+//     announce-always variants.
+//
+// Timing-based checks use generous margins (2x) so scheduler noise on
+// loaded CI machines cannot flip them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baseline/ms_queue.hpp"
+#include "core/wf_queue.hpp"
+#include "core/wf_queue_fps.hpp"
+#include "harness/mem_tracker.hpp"
+#include "harness/timing.hpp"
+#include "harness/workload.hpp"
+#include "sync/spin_barrier.hpp"
+
+namespace kpq {
+namespace {
+
+template <typename Q>
+double pairs_seconds_once(std::uint32_t threads, std::uint64_t iters) {
+  Q q(threads);
+  spin_barrier barrier(threads + 1);
+  std::vector<std::thread> workers;
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      barrier.arrive_and_wait();
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        q.enqueue(encode_value(tid, i), tid);
+        (void)q.dequeue(tid);
+      }
+    });
+  }
+  barrier.arrive_and_wait();
+  stopwatch sw;
+  for (auto& w : workers) w.join();
+  return sw.elapsed_s();
+}
+
+/// Best-of-3: the minimum is the standard noise-robust estimator for
+/// timing comparisons on shared machines.
+template <typename Q>
+double pairs_seconds(std::uint32_t threads, std::uint64_t iters) {
+  double best = pairs_seconds_once<Q>(threads, iters);
+  for (int r = 0; r < 2; ++r) {
+    best = std::min(best, pairs_seconds_once<Q>(threads, iters));
+  }
+  return best;
+}
+
+TEST(ShapeRegression, Figure10SpaceRatioApproachesOnePointFive) {
+  // Deterministic: counts bytes, not time. 50k elements is deep into the
+  // node-dominated regime.
+  constexpr std::uint64_t kSize = 50000;
+  mem_counters lf_mc, wf_mc;
+  {
+    ms_queue<std::uint64_t> lf(2, &lf_mc);
+    for (std::uint64_t i = 0; i < kSize; ++i) lf.enqueue(i, 0);
+    wf_queue_base<std::uint64_t> wf(2, &wf_mc);
+    for (std::uint64_t i = 0; i < kSize; ++i) wf.enqueue(i, 0);
+
+    const double ratio = static_cast<double>(wf_mc.live_bytes()) /
+                         static_cast<double>(lf_mc.live_bytes());
+    EXPECT_GT(ratio, 1.3);
+    EXPECT_LT(ratio, 1.7);
+  }
+  EXPECT_EQ(lf_mc.live_bytes(), 0);
+  EXPECT_EQ(wf_mc.live_bytes(), 0);
+}
+
+TEST(ShapeRegression, NodeSizesExplainThePaperAsymptote) {
+  // The paper attributes the 1.5x to the enqTid/deqTid fields; pin the
+  // layouts so a future field addition is a conscious decision.
+  EXPECT_EQ(sizeof(ms_queue<std::uint64_t>::node), 16u);
+  EXPECT_EQ(sizeof(wf_node<std::uint64_t>), 24u);
+}
+
+TEST(ShapeRegression, LockFreeBeatsBaseWaitFreeOnPairs) {
+  const double lf = pairs_seconds<ms_queue<std::uint64_t>>(8, 3000);
+  const double base_wf = pairs_seconds<wf_queue_base<std::uint64_t>>(8, 3000);
+  EXPECT_LT(lf * 2.0, base_wf)
+      << "LF should beat base WF by far more than 2x at oversubscription";
+}
+
+TEST(ShapeRegression, OptimizedVariantDoesNotLoseToBase) {
+  // At 12 threads the scan/helping overhead separates the variants; allow
+  // the optimized one up to 1.3x of base to absorb noise (it is typically
+  // ~0.6-0.9x).
+  const double base_wf =
+      pairs_seconds<wf_queue_base<std::uint64_t>>(12, 5000);
+  const double opt_wf = pairs_seconds<wf_queue_opt<std::uint64_t>>(12, 5000);
+  EXPECT_LT(opt_wf, base_wf * 1.3);
+}
+
+TEST(ShapeRegression, FpsLandsBetweenLfAndAnnounceAlways) {
+  const double fps = pairs_seconds<wf_queue_fps<std::uint64_t>>(8, 3000);
+  const double opt_wf = pairs_seconds<wf_queue_opt<std::uint64_t>>(8, 3000);
+  EXPECT_LT(fps, opt_wf)
+      << "the fast path should beat announce-on-every-operation";
+}
+
+}  // namespace
+}  // namespace kpq

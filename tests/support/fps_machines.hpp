@@ -1,0 +1,275 @@
+// Step machines for the fast-path/slow-path queue (wf_queue_fps), in the
+// style of step_machines.hpp: every primitive action of the fast MS-style
+// path and of the slow announce-and-help path is one step, so a scheduler
+// can interleave fast claims against slow claims at will — the exact races
+// the fps design must survive.
+//
+// Requires tests/support/whitebox.hpp in the same translation unit, plus
+// the fps-specific accessors below.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/wf_queue_fps.hpp"
+#include "support/whitebox.hpp"
+
+namespace kpq::testing {
+
+using fq = wf_queue_fps<std::uint64_t>;
+using fq_node = fq::node_type;
+using fq_desc = fq::desc_type;
+
+/// Alias: all fps access goes through the (friended) generic whitebox —
+/// the member names are shared with the base queue, and bump_phase is the
+/// one fps-specific accessor.
+using fps_access = whitebox;
+
+class fps_machine {
+ public:
+  virtual ~fps_machine() = default;
+  virtual bool step(fq& q) = 0;
+  bool done = false;
+  std::uint64_t inv = 0, res = 0;
+};
+
+/// Fast-path enqueue: link, then fix tail. No announce.
+class fast_enq_machine : public fps_machine {
+ public:
+  fast_enq_machine(std::uint32_t tid, std::uint64_t value)
+      : tid_(tid), value_(value) {}
+
+  bool step(fq& q) override {
+    using wb = whitebox;
+    switch (pc_) {
+      case 0: {  // allocate; fast nodes carry enq_tid == -1
+        node_ = wb::make_node(q, value_, no_tid);
+        pc_ = 1;
+        return false;
+      }
+      case 1: {  // one link attempt
+        fq_node* last = wb::tail(q);
+        fq_node* next = last->next.load();
+        if (next == nullptr) {
+          fq_node* expected = nullptr;
+          if (last->next.compare_exchange_strong(expected, node_)) {
+            pc_ = 2;
+          }
+        } else {
+          fps_access::help_finish_enq(q, tid_);
+        }
+        return false;
+      }
+      case 2: {  // fix tail
+        fps_access::help_finish_enq(q, tid_);
+        return true;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t tid_;
+  std::uint64_t value_;
+  fq_node* node_ = nullptr;
+  int pc_ = 0;
+};
+
+/// Fast-path dequeue: validate, read value, claim deqTid with the fast
+/// marker, finish. Retries forever (the bounded-tries fallback is a
+/// performance feature, not needed for these closed scenarios).
+class fast_deq_machine : public fps_machine {
+ public:
+  explicit fast_deq_machine(std::uint32_t tid) : tid_(tid) {}
+
+  std::optional<std::uint64_t> result;
+
+  bool step(fq& q) override {
+    using wb = whitebox;
+    switch (pc_) {
+      case 0: {  // one observation + claim attempt
+        fq_node* first = wb::head(q);
+        fq_node* last = wb::tail(q);
+        fq_node* next = first->next.load();
+        if (first != wb::head(q)) return false;
+        if (first == last) {
+          if (next == nullptr) {
+            result = std::nullopt;  // empty
+            return true;
+          }
+          fps_access::help_finish_enq(q, tid_);
+          return false;
+        }
+        value_ = next->value;
+        std::int32_t expected = no_tid;
+        if (first->deq_tid.compare_exchange_strong(
+                expected, fq::fast_claim_base +
+                              static_cast<std::int32_t>(tid_))) {
+          pc_ = 1;
+        } else {
+          fps_access::help_finish_deq(q, tid_);  // finish whoever claimed
+        }
+        return false;
+      }
+      case 1: {  // finish our own claim
+        fps_access::help_finish_deq(q, tid_);
+        result = value_;
+        return true;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t tid_;
+  std::uint64_t value_ = 0;
+  int pc_ = 0;
+};
+
+/// Slow-path dequeue: announce with a phase, then iterate the help_deq body
+/// one primitive at a time (same decomposition as step_machines.hpp).
+class slow_deq_machine : public fps_machine {
+ public:
+  explicit slow_deq_machine(std::uint32_t tid) : tid_(tid) {}
+
+  std::optional<std::uint64_t> result;
+
+  bool step(fq& q) override {
+    using wb = whitebox;
+    switch (pc_) {
+      case 0: {
+        const std::int64_t phase = fps_access::bump_phase(q);
+        wb::publish(q, tid_, phase, true, false, nullptr);
+        pc_ = 1;
+        return false;
+      }
+      case 1: {
+        fq_desc* d = wb::state(q, tid_);
+        if (!d->pending) {
+          pc_ = 3;
+          return false;
+        }
+        fq_node* first = wb::head(q);
+        fq_node* last = wb::tail(q);
+        fq_node* next = first->next.load();
+        if (first != wb::head(q)) return false;
+        if (first == last) {
+          if (next == nullptr) {
+            fq_desc* fresh = wb::make_desc(q, tid_, d->phase, false, false,
+                                           static_cast<fq_node*>(nullptr));
+            wb::swap_state(q, tid_, tid_, d, fresh);
+          } else {
+            fps_access::help_finish_enq(q, tid_);
+          }
+          return false;
+        }
+        if (d->node != first) {
+          fq_desc* fresh = wb::make_desc(q, tid_, d->phase, true, false, first);
+          if (!wb::swap_state(q, tid_, tid_, d, fresh)) return false;
+        }
+        claimed_ = first;
+        pc_ = 2;
+        return false;
+      }
+      case 2: {  // slow claim: plain tid
+        std::int32_t expected = no_tid;
+        claimed_->deq_tid.compare_exchange_strong(
+            expected, static_cast<std::int32_t>(tid_));
+        pc_ = 21;
+        return false;
+      }
+      case 21: {
+        fps_access::help_finish_deq(q, tid_);
+        pc_ = wb::state(q, tid_)->pending ? 1 : 3;
+        return false;
+      }
+      case 3: {
+        fps_access::help_finish_deq(q, tid_);
+        fq_desc* d = wb::state(q, tid_);
+        if (d->node != nullptr) result = d->value;
+        return true;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t tid_;
+  fq_node* claimed_ = nullptr;
+  int pc_ = 0;
+};
+
+/// Slow-path enqueue.
+class slow_enq_machine : public fps_machine {
+ public:
+  slow_enq_machine(std::uint32_t tid, std::uint64_t value)
+      : tid_(tid), value_(value) {}
+
+  bool step(fq& q) override {
+    using wb = whitebox;
+    switch (pc_) {
+      case 0: {
+        const std::int64_t phase = fps_access::bump_phase(q);
+        fq_node* n =
+            wb::make_node(q, value_, static_cast<std::int32_t>(tid_));
+        wb::publish(q, tid_, phase, true, true, n);
+        pc_ = 1;
+        return false;
+      }
+      case 1: {
+        fq_desc* d = wb::state(q, tid_);
+        if (!d->pending) {
+          pc_ = 2;
+          return false;
+        }
+        fq_node* last = wb::tail(q);
+        fq_node* next = last->next.load();
+        if (next == nullptr) {
+          fq_node* expected = nullptr;
+          last->next.compare_exchange_strong(expected, d->node);
+        } else {
+          fps_access::help_finish_enq(q, tid_);
+        }
+        return false;
+      }
+      case 2: {
+        fps_access::help_finish_enq(q, tid_);
+        if (wb::state(q, tid_)->pending) {
+          pc_ = 1;
+          return false;
+        }
+        return true;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t tid_;
+  std::uint64_t value_;
+  int pc_ = 0;
+};
+
+struct fps_op_spec {
+  enum class kind { fast_enq, fast_deq, slow_enq, slow_deq };
+  kind k;
+  std::uint32_t tid;
+  std::uint64_t value = 0;
+};
+
+inline std::unique_ptr<fps_machine> build_fps_machine(const fps_op_spec& s) {
+  switch (s.k) {
+    case fps_op_spec::kind::fast_enq:
+      return std::make_unique<fast_enq_machine>(s.tid, s.value);
+    case fps_op_spec::kind::fast_deq:
+      return std::make_unique<fast_deq_machine>(s.tid);
+    case fps_op_spec::kind::slow_enq:
+      return std::make_unique<slow_enq_machine>(s.tid, s.value);
+    case fps_op_spec::kind::slow_deq:
+      return std::make_unique<slow_deq_machine>(s.tid);
+  }
+  return nullptr;
+}
+
+}  // namespace kpq::testing

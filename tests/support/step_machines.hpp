@@ -1,0 +1,171 @@
+// Step machines: the KP queue's operations re-expressed as explicit
+// sequences of primitive atomic actions (publish / link CAS / finish-enq /
+// stage-0 CAS / deqTid claim / finish-deq), advanced one action per step()
+// call from a single OS thread. A scheduler that picks which machine steps
+// next has total control over the interleaving — the exhaustive explorer
+// (core_interleave_test) enumerates all schedules, the fuzzer
+// (core_random_schedule_test) samples long random ones.
+//
+// Soundness: every step is a sequence of the same atomics the real
+// algorithm performs, executed without interleaving inside one step. The
+// schedules explored are therefore a subset of real executions (coarser
+// granularity can only hide bugs, never invent them), so any violation
+// found here is a real algorithm bug.
+//
+// Requires tests/support/whitebox.hpp in the same translation unit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/wf_queue.hpp"
+#include "support/whitebox.hpp"
+
+namespace kpq::testing {
+
+using sm_queue = wf_queue_base<std::uint64_t>;
+using sm_node = sm_queue::node_type;
+using sm_desc = sm_queue::desc_type;
+
+/// One logical operation advanced one primitive action per step() call.
+class machine {
+ public:
+  virtual ~machine() = default;
+  virtual bool step(sm_queue& q) = 0;  // true once the operation completed
+  bool done = false;
+  std::uint64_t inv = 0, res = 0;  // step indexes for history checking
+};
+
+class enq_machine : public machine {
+ public:
+  enq_machine(std::uint32_t tid, std::uint64_t value)
+      : tid_(tid), value_(value) {}
+
+  bool step(sm_queue& q) override {
+    using wb = whitebox;
+    switch (pc_) {
+      case 0: {  // publish (paper lines 62-63)
+        const std::int64_t phase = wb::max_phase(q, tid_) + 1;
+        sm_node* n = wb::make_node(q, value_, static_cast<std::int32_t>(tid_));
+        wb::publish(q, tid_, phase, true, true, n);
+        pc_ = 1;
+        return false;
+      }
+      case 1: {  // one iteration of the link loop (lines 68-82)
+        sm_desc* d = wb::state(q, tid_);
+        if (!d->pending) {
+          pc_ = 2;
+          return false;
+        }
+        sm_node* last = wb::tail(q);
+        sm_node* next = last->next.load();
+        if (next == nullptr) {
+          sm_node* expected = nullptr;
+          last->next.compare_exchange_strong(expected, d->node);  // line 74
+        } else {
+          wb::help_finish_enq(q, tid_);  // line 80
+        }
+        return false;  // pending check routes us out next step
+      }
+      case 2: {  // finish (lines 65 / 75)
+        wb::help_finish_enq(q, tid_);
+        if (wb::state(q, tid_)->pending) {
+          pc_ = 1;
+          return false;
+        }
+        return true;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t tid_;
+  std::uint64_t value_;
+  int pc_ = 0;
+};
+
+class deq_machine : public machine {
+ public:
+  explicit deq_machine(std::uint32_t tid) : tid_(tid) {}
+
+  std::optional<std::uint64_t> result;
+
+  bool step(sm_queue& q) override {
+    using wb = whitebox;
+    switch (pc_) {
+      case 0: {  // publish (lines 99-100)
+        const std::int64_t phase = wb::max_phase(q, tid_) + 1;
+        wb::publish(q, tid_, phase, true, false, nullptr);
+        pc_ = 1;
+        return false;
+      }
+      case 1: {  // one iteration of the help_deq loop (lines 110-138)
+        sm_desc* d = wb::state(q, tid_);
+        if (!d->pending) {
+          pc_ = 3;
+          return false;
+        }
+        sm_node* first = wb::head(q);
+        sm_node* last = wb::tail(q);
+        sm_node* next = first->next.load();
+        if (first != wb::head(q)) return false;
+        if (first == last) {
+          if (next == nullptr) {  // empty (lines 116-121)
+            sm_desc* fresh = wb::make_desc(q, tid_, d->phase, false, false,
+                                           static_cast<sm_node*>(nullptr));
+            wb::swap_state(q, tid_, tid_, d, fresh);
+          } else {
+            wb::help_finish_enq(q, tid_);  // line 123
+          }
+          return false;
+        }
+        if (d->node != first) {  // stage 0 (lines 129-133)
+          sm_desc* fresh = wb::make_desc(q, tid_, d->phase, true, false, first);
+          if (!wb::swap_state(q, tid_, tid_, d, fresh)) return false;
+        }
+        claimed_ = first;
+        pc_ = 2;
+        return false;
+      }
+      case 2: {  // stage 1: the deqTid claim (line 135)
+        std::int32_t expected = no_tid;
+        claimed_->deq_tid.compare_exchange_strong(
+            expected, static_cast<std::int32_t>(tid_));
+        pc_ = 21;
+        return false;
+      }
+      case 21: {  // stages 2-3 (line 136)
+        wb::help_finish_deq(q, tid_);
+        pc_ = wb::state(q, tid_)->pending ? 1 : 3;
+        return false;
+      }
+      case 3: {  // read the outcome (lines 102-107)
+        wb::help_finish_deq(q, tid_);
+        sm_desc* d = wb::state(q, tid_);
+        if (d->node != nullptr) result = d->value;
+        return true;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t tid_;
+  sm_node* claimed_ = nullptr;
+  int pc_ = 0;
+};
+
+struct op_spec {
+  bool is_enq;
+  std::uint32_t tid;
+  std::uint64_t value;  // enq only
+};
+
+inline std::unique_ptr<machine> build_machine(const op_spec& s) {
+  if (s.is_enq) return std::make_unique<enq_machine>(s.tid, s.value);
+  return std::make_unique<deq_machine>(s.tid);
+}
+
+}  // namespace kpq::testing

@@ -1,0 +1,97 @@
+// Shared white-box driver for the KP queue tests (scenario replays,
+// interleaving exploration, structural audits). kpq::testing::whitebox is
+// declared as a friend by wf_queue; this header provides its one definition
+// for test targets. Include it from at most one .cpp per binary.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/wf_queue.hpp"
+#include "verify/queue_auditor.hpp"
+
+namespace kpq::testing {
+
+struct whitebox {
+  template <typename Q>
+  static typename Q::node_type* head(Q& q) {
+    return q.head_.load();
+  }
+  template <typename Q>
+  static typename Q::node_type* tail(Q& q) {
+    return q.tail_.load();
+  }
+  template <typename Q>
+  static typename Q::desc_type* state(Q& q, std::uint32_t i) {
+    return q.state_[i]->load();
+  }
+  template <typename Q>
+  static typename Q::node_type* make_node(Q& q, std::uint64_t v,
+                                          std::int32_t etid) {
+    return q.alloc_node(v, etid);
+  }
+  template <typename Q>
+  static std::int64_t max_phase(Q& q, std::uint32_t tid) {
+    auto g = q.reclaim_.enter(tid);
+    return q.max_phase(g);
+  }
+  template <typename Q>
+  static void publish(Q& q, std::uint32_t tid, std::int64_t phase,
+                      bool pending, bool enq, typename Q::node_type* node) {
+    q.publish(tid, q.pool_.make(tid, phase, pending, enq, node));
+  }
+  template <typename Q, typename... Args>
+  static typename Q::desc_type* make_desc(Q& q, std::uint32_t my,
+                                          Args&&... args) {
+    return q.pool_.make(my, std::forward<Args>(args)...);
+  }
+  template <typename Q>
+  static bool swap_state(Q& q, std::uint32_t tid, std::uint32_t my,
+                         typename Q::desc_type* cur,
+                         typename Q::desc_type* repl) {
+    return q.swap_state(tid, my, cur, repl);
+  }
+  /// fps only: the shared phase counter.
+  template <typename Q>
+  static std::int64_t bump_phase(Q& q) {
+    return q.phase_counter_->fetch_add(1, std::memory_order_acq_rel);
+  }
+  template <typename Q>
+  static void help_finish_enq(Q& q, std::uint32_t my) {
+    auto g = q.reclaim_.enter(my);
+    q.help_finish_enq(my, g);
+  }
+  template <typename Q>
+  static void help_finish_deq(Q& q, std::uint32_t my) {
+    auto g = q.reclaim_.enter(my);
+    q.help_finish_deq(my, g);
+  }
+  template <typename Q>
+  static void help_enq(Q& q, std::uint32_t tid, std::int64_t ph,
+                       std::uint32_t my) {
+    auto g = q.reclaim_.enter(my);
+    q.help_enq(tid, ph, g, my);
+  }
+  template <typename Q>
+  static void help_deq(Q& q, std::uint32_t tid, std::int64_t ph,
+                       std::uint32_t my) {
+    auto g = q.reclaim_.enter(my);
+    q.help_deq(tid, ph, g, my);
+  }
+
+  /// Snapshot for the structural auditor (quiescence required).
+  template <typename Q>
+  static audit_view<typename Q::node_type, typename Q::desc_type> view(Q& q) {
+    audit_view<typename Q::node_type, typename Q::desc_type> v;
+    v.head = q.head_.load();
+    v.tail = q.tail_.load();
+    v.max_threads = q.max_threads();
+    for (std::uint32_t i = 0; i < q.max_threads(); ++i) {
+      v.state.push_back(q.state_[i]->load());
+    }
+    return v;
+  }
+};
+
+}  // namespace kpq::testing
