@@ -1,13 +1,30 @@
 #!/usr/bin/env bash
-# Run the whole test suite under ASan+UBSan and under TSan. Both configs
-# must be 100% green; TSan is the one that caught the port's only genuine
-# reclamation bug (see DESIGN.md, "Port findings").
+# Run the test suite under sanitizers. Both configs must be 100% green; TSan
+# is the one that caught the port's only genuine reclamation bug (see
+# DESIGN.md, "Port findings").
+#
+# Usage:
+#   scripts/sanitize.sh [mode ...] [-- ctest-args ...]
+#
+#   scripts/sanitize.sh                          # ASan+UBSan and TSan, all tests
+#   scripts/sanitize.sh thread                   # TSan only, all tests
+#   scripts/sanitize.sh thread -- -R 'Sharded'   # TSan, filtered ctest run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for mode in address thread; do
+modes=()
+while [[ $# -gt 0 && "$1" != "--" ]]; do
+  modes+=("$1")
+  shift
+done
+[[ $# -gt 0 ]] && shift  # drop the --
+ctest_args=("$@")
+[[ ${#modes[@]} -eq 0 ]] && modes=(address thread)
+
+for mode in "${modes[@]}"; do
   echo "=== sanitizer: $mode ==="
   cmake -B "build-$mode-san" -G Ninja -DKPQ_SANITIZE="$mode"
   cmake --build "build-$mode-san"
-  ctest --test-dir "build-$mode-san" --output-on-failure
+  ctest --test-dir "build-$mode-san" --output-on-failure \
+    ${ctest_args[@]+"${ctest_args[@]}"}
 done

@@ -251,6 +251,76 @@ class wf_queue : public mem_tracked {
     return result;  // d->node == nullptr: linearized on an empty queue
   }
 
+  // ---------------------------------------------------------------- batched
+  // Native hooks for the scale layer (scale/batch.hpp dispatches to these).
+  //
+  // A batch amortizes the two per-operation costs that do not depend on the
+  // operation itself: the reclamation-guard entry and the phase draw. One
+  // phase is registered for the WHOLE batch and reused by every item:
+  //
+  //   * Legal: helping uses `phase <= mine`, so equal phases are already
+  //     tolerated (cas_phase takes duplicate phases by design, paper
+  //     footnote 3), and descriptor identity — never the phase — is what
+  //     the completion CASes compare. A batch item publishing an "old"
+  //     phase can only make itself MORE helpable.
+  //   * Wait-free: the doorway bound (paper §5.3) counts operations with
+  //     phase <= p that can linearize before an operation with phase p; a
+  //     batch adds at most its own length to that count, so the step bound
+  //     grows by the maximum batch size — still a constant.
+  //
+  // Items become visible one at a time, exactly as the per-item loop's
+  // would (helpers can complete any prefix for a stalled owner); batching
+  // changes cost, never semantics. With scan_max_phase the saving is an
+  // O(max_threads) state scan per item; with fetch_add_phase it is the
+  // shared-counter RMW — the cross-thread rendezvous either way.
+
+  /// Enqueue [first, last) under one guard and one phase.
+  template <typename It>
+  void enqueue_bulk(It first, It last, std::uint32_t tid) {
+    assert(tid < n_);
+    if (first == last) return;
+    auto g = reclaim_.enter(tid);
+    const std::int64_t phase = phase_.next_phase(*this, g, tid);
+    for (; first != last; ++first) {
+      node_type* node = alloc_node(*first, static_cast<std::int32_t>(tid));
+      publish(tid, pool_.make(tid, phase, true, true, node));
+      if constexpr (Options::collect_stats) ++stats_[tid]->enq_ops;
+      Options::hooks::after_publish(tid, /*is_enqueue=*/true);
+      help_.run(*this, tid, phase, g);
+      help_finish_enq(tid, g);
+    }
+    if constexpr (Options::scrub_on_exit) scrub(tid, g, /*enq=*/true);
+  }
+
+  /// Pop up to `max` items (appended to `out`) under one guard and one
+  /// phase; stops at the first empty-linearized dequeue. Returns the count.
+  std::size_t dequeue_bulk(std::vector<T>& out, std::size_t max,
+                           std::uint32_t tid) {
+    assert(tid < n_);
+    if (max == 0) return 0;
+    auto g = reclaim_.enter(tid);
+    const std::int64_t phase = phase_.next_phase(*this, g, tid);
+    std::size_t got = 0;
+    while (got < max) {
+      publish(tid, pool_.make(tid, phase, true, false, nullptr));
+      if constexpr (Options::collect_stats) ++stats_[tid]->deq_ops;
+      Options::hooks::after_publish(tid, /*is_enqueue=*/false);
+      help_.run(*this, tid, phase, g);
+      help_finish_deq(tid, g);
+      desc_type* d = g.protect(s_desc, state_[tid].get());
+      const bool hit = d->node != nullptr;
+      if (hit) out.push_back(d->value);
+      g.clear(s_desc);
+      if (!hit) {
+        if constexpr (Options::collect_stats) ++stats_[tid]->empty_deqs;
+        break;
+      }
+      ++got;
+    }
+    if constexpr (Options::scrub_on_exit) scrub(tid, g, /*enq=*/false);
+    return got;
+  }
+
   // ----------------------------------------------------------- observability
 
   std::uint32_t max_threads() const noexcept { return n_; }

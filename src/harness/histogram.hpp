@@ -8,6 +8,7 @@
 // granularity latency-tail discussions care about.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
@@ -45,15 +46,23 @@ class log2_histogram {
   }
 
   /// Conservative quantile: smallest bucket upper bound covering at least
-  /// q of the recorded samples.
+  /// q of the recorded samples. The covering rank is ceil(q*n) clamped to
+  /// [1, n] — q=0 means the smallest recorded sample's bucket, q=1 the
+  /// largest's, and a single-sample histogram answers its one bucket for
+  /// every q. (A floor-and-strictly-greater rank, the previous behaviour,
+  /// overshoots by a whole bucket whenever q*n lands on an integer: p90 of
+  /// 100 samples would report the bucket of the 91st.)
   std::uint64_t quantile_upper_bound(double q) const noexcept {
     const std::uint64_t n = total();
     if (n == 0) return 0;
-    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    const double scaled = q * static_cast<double>(n);
+    auto target = static_cast<std::uint64_t>(scaled);
+    if (static_cast<double>(target) < scaled) ++target;  // ceil
+    target = std::min(std::max<std::uint64_t>(target, 1), n);
     std::uint64_t seen = 0;
     for (std::size_t b = 0; b < bucket_count; ++b) {
       seen += count(b);
-      if (seen > target || (q >= 1.0 && seen == n)) return bucket_upper(b);
+      if (seen >= target) return bucket_upper(b);
     }
     return bucket_upper(bucket_count - 1);
   }

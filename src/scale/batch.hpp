@@ -1,0 +1,79 @@
+// Bulk-operation layer: amortize per-operation overhead across a batch.
+//
+// Two pieces:
+//
+//   * `bulk_mpmc_queue` — concept for queues exposing NATIVE bulk hooks
+//     (wf_queue's enqueue_bulk/dequeue_bulk amortize one reclamation-guard
+//     entry and one phase draw over the whole batch; sharded_queue routes
+//     and counts whole batches). The native signatures are pinned here the
+//     same way queue_concepts.hpp pins the scalar ones.
+//
+//   * kpq::enqueue_bulk / kpq::dequeue_bulk — free-function entry points
+//     that dispatch to the native hook when present and otherwise fall back
+//     to per-item operations. Generic code (harness, examples, the sharded
+//     front-end) calls these and works over every queue in the library,
+//     including the baselines that will never grow a native fast path.
+//
+// The fallback IS the contention story: a native batch is not transactional
+// — items become visible one by one, exactly as the per-item loop's would,
+// and each item's operation keeps its own wait-free completion (helpers can
+// finish any prefix of the batch for a stalled owner). Batching therefore
+// changes cost, never semantics, and "fall back to per-item ops" is the
+// no-op it should be.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "core/queue_concepts.hpp"
+
+namespace kpq {
+
+/// Queues with native bulk hooks. Insert from an iterator range; pop up to
+/// `max` items appended to a vector, returning how many arrived.
+template <typename Q>
+concept bulk_mpmc_queue =
+    mpmc_queue<Q> &&
+    requires(Q q, typename Q::value_type* p, std::size_t n,
+             std::vector<typename Q::value_type>& out, std::uint32_t tid) {
+      { q.enqueue_bulk(p, p + n, tid) };
+      { q.dequeue_bulk(out, n, tid) } -> std::same_as<std::size_t>;
+    };
+
+/// Enqueue [first, last): native batch when the queue has one, per-item
+/// loop otherwise. Values are copied from the range (producers typically
+/// reuse their staging buffer).
+template <typename Q, typename It>
+  requires mpmc_queue<Q>
+void enqueue_bulk(Q& q, It first, It last, std::uint32_t tid) {
+  if constexpr (bulk_mpmc_queue<Q>) {
+    q.enqueue_bulk(first, last, tid);
+  } else {
+    for (; first != last; ++first) q.enqueue(*first, tid);
+  }
+}
+
+/// Pop up to `max` items into `out` (appended); returns the number moved.
+/// Stops early the first time the queue reports empty — a bulk pop is a
+/// best-effort drain, not a wait-for-fill.
+template <typename Q>
+  requires mpmc_queue<Q>
+std::size_t dequeue_bulk(Q& q, std::vector<typename Q::value_type>& out,
+                         std::size_t max, std::uint32_t tid) {
+  if constexpr (bulk_mpmc_queue<Q>) {
+    return q.dequeue_bulk(out, max, tid);
+  } else {
+    std::size_t got = 0;
+    while (got < max) {
+      auto v = q.dequeue(tid);
+      if (!v.has_value()) break;
+      out.push_back(std::move(*v));
+      ++got;
+    }
+    return got;
+  }
+}
+
+}  // namespace kpq

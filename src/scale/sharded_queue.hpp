@@ -1,0 +1,198 @@
+// sharded_queue<Q, Policy> — the scaling front-end over S independent
+// inner MPMC queues (default: the KP wait-free queue, untouched).
+//
+// Why: every operation on one KP queue is a rendezvous with every other
+// thread — phase scans, the help() traversal, head/tail CAS contention all
+// grow with the thread count on THAT queue. The literature's answer
+// (No Cords Attached; wCQ; every production stream partitioner) is
+// coordination REDUCTION: split traffic across independent lanes so the
+// per-lane thread count, and with it the helping bound, shrinks by S. This
+// class is that split, as a front-end satisfying the same mpmc_queue
+// concept as the queues it wraps, so harness/bench/adapter code is reusable
+// unchanged.
+//
+// Semantics (the "relaxed cross-shard ordering contract", documented in
+// docs/ALGORITHM.md §6):
+//   * Each shard is a linearizable FIFO (it IS an inner queue).
+//   * Items that route to the same shard keep their FIFO order. With the
+//     affinity policy that covers per-producer order; with key-hash,
+//     per-key order. Round-robin promises no order at all.
+//   * Cross-shard order is unspecified — the price of independence.
+//   * dequeue() returning nullopt means: every shard, at the moment the
+//     scan visited it, was observed empty by a linearizable inner dequeue.
+//     There is no single instant at which the WHOLE structure was empty
+//     (tested: per-shard empty honesty still holds, see
+//     scale_random_schedule_test).
+//
+// Progress: enqueue is one policy call + one inner enqueue. dequeue is at
+// most S inner dequeues (the cyclic scan visits each shard once) — a
+// constant for a given configuration — so the front-end is wait-free
+// whenever the inner queue is, with the helping bound divided by the number
+// of shards traffic actually spreads over.
+//
+// Dequeue scan = work stealing: the scan starts at home_shard(tid) and
+// wraps. A consumer prefers its own lane (cheap, uncontended) and falls
+// back to draining peers' lanes when its own runs dry, so no item is ever
+// stranded behind an idle consumer. The stolen/dequeued ratio is exported
+// per shard (scale_counters.hpp) — the fig_sharding bench prints it.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "core/queue_concepts.hpp"
+#include "harness/mem_tracker.hpp"
+#include "scale/batch.hpp"
+#include "scale/scale_counters.hpp"
+#include "scale/shard_policy.hpp"
+#include "sync/cacheline.hpp"
+#include "sync/thread_registry.hpp"
+
+namespace kpq {
+
+template <typename Q, typename Policy = affinity_shards>
+  requires mpmc_queue<Q>
+class sharded_queue : public mem_tracked {
+ public:
+  using value_type = typename Q::value_type;
+  using inner_type = Q;
+  using policy_type = Policy;
+
+  /// `max_threads` has the inner queues' meaning (bound on distinct dense
+  /// thread ids): every thread may steal from every shard, so each inner
+  /// queue must be built for the full thread count. Pass `mc` to account
+  /// inner allocations from construction, exactly like wf_queue.
+  sharded_queue(std::uint32_t shard_count, std::uint32_t max_threads,
+                mem_counters* mc = nullptr)
+      : nshards_(shard_count),
+        n_(max_threads),
+        policy_(shard_count),
+        counters_(shard_count) {
+    assert(shard_count >= 1);
+    set_memory_counters(mc);
+    shards_.reserve(nshards_);
+    for (std::uint32_t s = 0; s < nshards_; ++s) {
+      if constexpr (std::is_constructible_v<Q, std::uint32_t, mem_counters*>) {
+        shards_.push_back(std::make_unique<Q>(max_threads, mc));
+      } else {
+        shards_.push_back(std::make_unique<Q>(max_threads));
+      }
+    }
+  }
+
+  sharded_queue(const sharded_queue&) = delete;
+  sharded_queue& operator=(const sharded_queue&) = delete;
+
+  // ------------------------------------------------------------------ single
+
+  void enqueue(value_type v, std::uint32_t tid) {
+    assert(tid < n_);
+    const std::uint32_t s = policy_.enqueue_shard(tid, v);
+    shards_[s]->enqueue(std::move(v), tid);
+    counters_[s]->on_enqueue();
+  }
+  void enqueue(value_type v) { enqueue(std::move(v), this_thread_id()); }
+
+  /// Cyclic work-stealing scan from the caller's home shard. At most one
+  /// inner dequeue per shard per call, hence wait-free (see file comment).
+  std::optional<value_type> dequeue(std::uint32_t tid) {
+    assert(tid < n_);
+    const std::uint32_t home = policy_.home_shard(tid);
+    std::uint32_t s = home;
+    for (std::uint32_t k = 0; k < nshards_; ++k) {
+      if (auto v = shards_[s]->dequeue(tid)) {
+        counters_[s]->on_dequeue(/*stolen=*/k != 0);
+        return v;
+      }
+      s = (s + 1 == nshards_) ? 0 : s + 1;
+    }
+    counters_[home]->on_empty_scan();
+    return std::nullopt;
+  }
+  std::optional<value_type> dequeue() { return dequeue(this_thread_id()); }
+
+  // ------------------------------------------------------------------- bulk
+
+  /// A batch routes as one unit (shard chosen from its first item), so a
+  /// producer's batch stays contiguous — and FIFO — inside one shard, and
+  /// the inner queue's batched-descriptor fast path (wf_queue::enqueue_bulk:
+  /// one reclamation guard + one phase draw for the whole batch) amortizes
+  /// across all of it. Falls back to per-item inner ops automatically when
+  /// the inner queue has no native bulk hook (kpq::enqueue_bulk dispatch).
+  template <typename It>
+  void enqueue_bulk(It first, It last, std::uint32_t tid) {
+    if (first == last) return;
+    assert(tid < n_);
+    const std::uint32_t s = policy_.enqueue_shard(tid, *first);
+    const auto n = static_cast<std::uint64_t>(std::distance(first, last));
+    kpq::enqueue_bulk(*shards_[s], first, last, tid);
+    counters_[s]->on_enqueue(n);
+    counters_[s]->on_batch(n);
+  }
+
+  /// Work-stealing bulk pop: drains up to `max` items, preferring the home
+  /// shard and continuing the cyclic scan across shards until `max` is met
+  /// or every shard reported empty. Appends to `out`, returns items moved.
+  std::size_t dequeue_bulk(std::vector<value_type>& out, std::size_t max,
+                           std::uint32_t tid) {
+    assert(tid < n_);
+    const std::uint32_t home = policy_.home_shard(tid);
+    std::uint32_t s = home;
+    std::size_t got = 0;
+    for (std::uint32_t k = 0; k < nshards_ && got < max; ++k) {
+      const std::size_t from_shard =
+          kpq::dequeue_bulk(*shards_[s], out, max - got, tid);
+      if (from_shard > 0) {
+        counters_[s]->on_dequeue(/*stolen=*/k != 0, from_shard);
+        counters_[s]->on_batch(from_shard);
+        got += from_shard;
+      }
+      s = (s + 1 == nshards_) ? 0 : s + 1;
+    }
+    if (got == 0) counters_[home]->on_empty_scan();
+    return got;
+  }
+
+  // ---------------------------------------------------------- observability
+
+  std::uint32_t shard_count() const noexcept { return nshards_; }
+  std::uint32_t max_threads() const noexcept { return n_; }
+  Q& shard(std::uint32_t s) noexcept { return *shards_[s]; }
+  const Q& shard(std::uint32_t s) const noexcept { return *shards_[s]; }
+  policy_type& policy() noexcept { return policy_; }
+
+  shard_stats shard_counters_snapshot(std::uint32_t s) const {
+    return counters_[s]->snapshot();
+  }
+  shard_stats aggregate_counters() const { return aggregate(counters_); }
+
+  /// True if every shard looked empty at some point during the call (the
+  /// relaxed emptiness the dequeue scan acts on; see file comment).
+  bool empty_hint(std::uint32_t tid) {
+    for (std::uint32_t s = 0; s < nshards_; ++s) {
+      if (!shards_[s]->empty_hint(tid)) return false;
+    }
+    return true;
+  }
+  bool empty_hint() { return empty_hint(this_thread_id()); }
+
+  /// Test-only, requires quiescence (inner contract).
+  std::size_t unsafe_size() const {
+    std::size_t n = 0;
+    for (std::uint32_t s = 0; s < nshards_; ++s) n += shards_[s]->unsafe_size();
+    return n;
+  }
+
+ private:
+  const std::uint32_t nshards_;
+  const std::uint32_t n_;
+  Policy policy_;
+  std::vector<std::unique_ptr<Q>> shards_;
+  std::vector<padded<shard_counters>> counters_;
+};
+
+}  // namespace kpq

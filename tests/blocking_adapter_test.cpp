@@ -107,6 +107,38 @@ TEST(BlockingAdapter, NoLostWakeupsUnderChurn) {
   EXPECT_EQ(consumed.load(), kItems);
 }
 
+TEST(BlockingAdapter, ShutdownWakesAllSleepersAndDrainsBacklog) {
+  // Full shutdown sequence with items in flight: several consumers asleep
+  // on an empty queue, then a producer enqueues a small backlog and
+  // immediately closes. Every consumer must wake without further enqueues,
+  // the backlog must be drained exactly once collectively, and every
+  // consumer must then observe end-of-queue (nullopt) — including on pops
+  // issued after close returned.
+  constexpr std::uint32_t kConsumers = 4;
+  constexpr std::uint64_t kBacklog = 3;
+  blocking_adapter<wf_queue_opt<std::uint64_t>> q(kConsumers + 1);
+  std::atomic<std::uint64_t> drained{0};
+  std::atomic<int> ended{0};
+  std::vector<std::thread> consumers;
+  for (std::uint32_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      while (q.dequeue_blocking(c).has_value()) drained.fetch_add(1);
+      ended.fetch_add(1);
+      // Closed and drained stays closed and drained.
+      EXPECT_EQ(q.dequeue_blocking(c), std::nullopt);
+      EXPECT_EQ(q.try_dequeue(c), std::nullopt);
+    });
+  }
+  std::this_thread::sleep_for(30ms);  // let all consumers block
+  EXPECT_EQ(ended.load(), 0);
+  for (std::uint64_t i = 0; i < kBacklog; ++i) q.enqueue(i, kConsumers);
+  q.close();
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(drained.load(), kBacklog);
+  EXPECT_EQ(ended.load(), static_cast<int>(kConsumers));
+  EXPECT_TRUE(q.closed());
+}
+
 TEST(BlockingAdapter, WorksOverTheLockFreeBaselineToo) {
   blocking_adapter<ms_queue<std::uint64_t>> q(2);
   q.enqueue(11, 0);

@@ -45,6 +45,46 @@ TEST(Log2Histogram, QuantileUpperBoundsAreConservative) {
   EXPECT_EQ(h.quantile_upper_bound(1.0), 8191u);
 }
 
+TEST(Log2Histogram, ExtremeQuantilesHitMinAndMaxBuckets) {
+  log2_histogram h;
+  for (int i = 0; i < 5; ++i) h.add(3);      // bucket upper 3
+  for (int i = 0; i < 5; ++i) h.add(40);     // bucket upper 63
+  for (int i = 0; i < 5; ++i) h.add(70000);  // bucket upper 131071
+  EXPECT_EQ(h.quantile_upper_bound(0.0), 3u);        // p0 = smallest sample
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 131071u);   // p100 = largest
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 63u);
+}
+
+TEST(Log2Histogram, SingleSampleAnswersItsBucketForEveryQuantile) {
+  log2_histogram h;
+  h.add(100);  // bucket upper 127
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile_upper_bound(q), 127u) << "q=" << q;
+  }
+  log2_histogram zero;
+  zero.add(0);  // bucket 0: the {0} bucket
+  EXPECT_EQ(zero.quantile_upper_bound(0.0), 0u);
+  EXPECT_EQ(zero.quantile_upper_bound(1.0), 0u);
+}
+
+TEST(Log2Histogram, ExactRankBoundaryIsNotOvershot) {
+  // 90 small + 10 large samples: p90 is covered by the 90 small ones, so
+  // the small bucket must be the answer (the old floor/strictly-greater
+  // rank skipped to the large bucket exactly at integer q*n).
+  log2_histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);    // bucket upper 15
+  for (int i = 0; i < 10; ++i) h.add(5000);  // bucket upper 8191
+  EXPECT_EQ(h.quantile_upper_bound(0.90), 15u);
+  EXPECT_EQ(h.quantile_upper_bound(0.901), 8191u);
+}
+
+TEST(Log2Histogram, EmptyHistogramQuantilesAreZero) {
+  log2_histogram h;
+  EXPECT_EQ(h.quantile_upper_bound(0.0), 0u);
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 0u);
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 0u);
+}
+
 TEST(Log2Histogram, MergeAndReset) {
   log2_histogram a, b;
   a.add(7);
