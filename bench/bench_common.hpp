@@ -22,6 +22,7 @@
 #include "harness/stats.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
+#include "obs/export.hpp"
 
 namespace kpq::bench {
 
@@ -32,6 +33,9 @@ struct bench_params {
   bool pin = false;
   bool csv = false;
   std::uint64_t seed = 0x5EED;
+  /// When non-empty, the figure also writes its series to this path as JSON
+  /// (schema: scripts/bench_schema.json, validated in CI).
+  std::string json_path;
 };
 
 inline bench_params parse_params(int argc, char** argv,
@@ -45,7 +49,8 @@ inline bench_params parse_params(int argc, char** argv,
         "       --reps N       repetitions per data point (default 3)\n"
         "       --seed S       workload RNG seed\n"
         "       --pin          pin worker i to cpu i %% ncpu\n"
-        "       --csv          also print a CSV block\n",
+        "       --csv          also print a CSV block\n"
+        "       --json PATH    write the series as machine-readable JSON\n",
         static_cast<unsigned long long>(default_iters));
     std::exit(0);
   }
@@ -55,6 +60,7 @@ inline bench_params parse_params(int argc, char** argv,
   p.pin = args.get_flag("pin");
   p.csv = args.get_flag("csv");
   p.seed = args.get_u64("seed", 0x5EED);
+  p.json_path = args.get_str("json", "");
   if (args.get_flag("full")) {
     for (std::uint32_t t = 1; t <= 16; ++t) p.threads.push_back(t);
   } else if (std::uint64_t t = args.get_u64("threads", 0); t != 0) {
@@ -152,7 +158,57 @@ class figure {
       std::printf("\n-- csv --\n");
       t.print_csv(stdout);
     }
+    if (!p_.json_path.empty()) write_json(threads);
     std::printf("\n");
+  }
+
+  /// Machine-readable emission (--json): one document per figure, schema
+  /// "kpq-bench-1" (scripts/bench_schema.json). Cells are laid out exactly
+  /// as print() consumes them: per thread count, one summary per series.
+  void write_json(const std::vector<std::uint32_t>& threads) const {
+    obs::json_writer w;
+    w.begin_object();
+    w.key("schema").value("kpq-bench-1");
+    w.key("bench").value(title_);
+    w.key("params").begin_object();
+    w.key("iters").value(static_cast<std::uint64_t>(p_.iters));
+    w.key("reps").value(static_cast<std::uint64_t>(p_.reps));
+    w.key("pin").value(p_.pin);
+    w.key("seed").value(static_cast<std::uint64_t>(p_.seed));
+    w.end_object();
+    w.key("x_label").value("threads");
+    w.key("series").begin_array();
+    for (std::size_t s = 0; s < names_.size(); ++s) {
+      w.begin_object();
+      w.key("name").value(names_[s]);
+      w.key("points").begin_array();
+      for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+        const std::size_t idx = ti * names_.size() + s;
+        if (idx >= cells_.size()) break;
+        const summary& sm = cells_[idx];
+        w.begin_object();
+        w.key("x").value(static_cast<std::uint64_t>(threads[ti]));
+        w.key("n").value(static_cast<std::uint64_t>(sm.n));
+        w.key("mean_s").value(obs::finite_or(sm.mean));
+        w.key("stddev_s").value(obs::finite_or(sm.stddev));
+        w.key("min_s").value(obs::finite_or(sm.min));
+        w.key("max_s").value(obs::finite_or(sm.max));
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (std::FILE* f = std::fopen(p_.json_path.c_str(), "w")) {
+      std::fputs(w.str().c_str(), f);
+      std::fputs("\n", f);
+      std::fclose(f);
+      std::printf("[json written to %s]\n", p_.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not open --json path %s\n",
+                   p_.json_path.c_str());
+    }
   }
 
  private:

@@ -18,7 +18,8 @@
 // run, exactly like the paper.
 //
 // Flags: --max-size N (default 1000000; paper reaches 10^7), --threads N
-// (default 8), --iters N, --footprint BYTES, --csv.
+// (default 8), --iters N, --footprint BYTES, --csv, --json PATH
+// (machine-readable series, schema kpq-bench-1, x = initial queue size).
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -33,6 +34,7 @@
 #include "harness/stats.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
+#include "obs/export.hpp"
 #include "sync/spin_barrier.hpp"
 
 namespace {
@@ -79,7 +81,7 @@ int main(int argc, char** argv) {
 
   cli args(argc, argv);
   if (args.get_flag("help")) {
-    std::printf("%s", "flags: --max-size N (default 1000000; paper: 10000000)\n       --threads N (default 8)  --iters N (default 2000)\n       --footprint BYTES (default 1 MiB)  --csv\n");
+    std::printf("%s", "flags: --max-size N (default 1000000; paper: 10000000)\n       --threads N (default 8)  --iters N (default 2000)\n       --footprint BYTES (default 1 MiB)  --csv  --json PATH\n");
     return 0;
   }
   const std::uint64_t max_size = args.get_u64("max-size", 1000000);
@@ -87,6 +89,7 @@ int main(int argc, char** argv) {
   const std::uint64_t iters = args.get_u64("iters", 2000);
   const double footprint = args.get_double("footprint", 1024.0 * 1024.0);
   const bool csv = args.get_flag("csv");
+  const std::string json_path = args.get_str("json", "");
 
   std::printf("== Figure 10: space overhead vs initial queue size ==\n");
   std::printf(
@@ -104,6 +107,12 @@ int main(int argc, char** argv) {
   table t({"queue size", "LF [KiB]", "base WF [KiB]", "opt WF [KiB]",
            "base WF/LF", "opt WF/LF", "raw base/LF"});
 
+  struct sample_row {
+    std::uint64_t size;
+    double lf, wf_base, wf_opt;
+  };
+  std::vector<sample_row> samples;
+
   for (std::uint64_t size = 1; size <= max_size; size *= 10) {
     const double lf =
         sampled_live_bytes<ms_queue<std::uint64_t>>(size, threads, iters);
@@ -111,6 +120,7 @@ int main(int argc, char** argv) {
         sampled_live_bytes<wf_queue_base<std::uint64_t>>(size, threads, iters);
     const double wf_opt =
         sampled_live_bytes<wf_queue_opt<std::uint64_t>>(size, threads, iters);
+    samples.push_back({size, lf, wf_base, wf_opt});
 
     t.add_row({std::to_string(size), fmt(lf / 1024.0, 1),
                fmt(wf_base / 1024.0, 1), fmt(wf_opt / 1024.0, 1),
@@ -122,6 +132,46 @@ int main(int argc, char** argv) {
   if (csv) {
     std::printf("\n-- csv --\n");
     t.print_csv(stdout);
+  }
+  if (!json_path.empty()) {
+    obs::json_writer w;
+    w.begin_object();
+    w.key("schema").value("kpq-bench-1");
+    w.key("bench").value("Figure 10: space overhead vs initial queue size");
+    w.key("params").begin_object();
+    w.key("iters").value(iters);
+    w.key("threads").value(static_cast<std::uint64_t>(threads));
+    w.key("footprint").value(footprint);
+    w.end_object();
+    w.key("x_label").value("queue_size");
+    w.key("series").begin_array();
+    const char* names[] = {"LF live bytes", "base WF live bytes",
+                           "opt WF live bytes"};
+    for (int s = 0; s < 3; ++s) {
+      w.begin_object();
+      w.key("name").value(names[s]);
+      w.key("points").begin_array();
+      for (const sample_row& r : samples) {
+        const double v = s == 0 ? r.lf : (s == 1 ? r.wf_base : r.wf_opt);
+        w.begin_object();
+        w.key("x").value(r.size);
+        w.key("mean_bytes").value(obs::finite_or(v));
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(w.str().c_str(), f);
+      std::fputs("\n", f);
+      std::fclose(f);
+      std::printf("[json written to %s]\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not open --json path %s\n",
+                   json_path.c_str());
+    }
   }
   return 0;
 }

@@ -13,7 +13,8 @@
 // opt WF (1+2) tracks LF within a small factor (~2-3x on RedHat/Ubuntu) and
 // can cross over LF past core saturation on some configurations (CentOS).
 //
-// Flags: --threads N | --full, --iters N (per thread), --reps N, --pin, --csv.
+// Flags: --threads N | --full, --iters N (per thread), --reps N, --pin,
+//        --csv, --json PATH (machine-readable series, schema kpq-bench-1).
 #include <cstdint>
 
 #include "baseline/ms_queue.hpp"

@@ -7,7 +7,8 @@
 // absolute time, because this benchmark issues half as many operations per
 // iteration count.
 //
-// Flags: --threads N | --full, --iters N, --reps N, --prefill N, --pin, --csv.
+// Flags: --threads N | --full, --iters N, --reps N, --prefill N, --pin,
+//        --csv, --json PATH (machine-readable series, schema kpq-bench-1).
 #include <cstdint>
 
 #include "baseline/ms_queue.hpp"

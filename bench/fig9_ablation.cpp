@@ -10,7 +10,8 @@
 // modified helping rule prevents all threads from piling onto the same slow
 // peer; optimization 2's impact is minor but grows with the thread count.
 //
-// Flags: --threads N | --full, --iters N, --reps N, --pin, --csv.
+// Flags: --threads N | --full, --iters N, --reps N, --pin, --csv,
+//        --json PATH (machine-readable series, schema kpq-bench-1).
 #include <cstdint>
 
 #include "bench_common.hpp"

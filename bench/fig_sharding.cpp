@@ -18,7 +18,8 @@
 // much of the amortization the fast path actually realized.
 //
 // Flags: --threads N | --full, --iters N, --reps N, --pin, --csv, --seed S,
-//        --batch K (bulk series batch size, default 16), --steal-heavy.
+//        --batch K (bulk series batch size, default 16), --steal-heavy,
+//        --json PATH (machine-readable series, schema kpq-bench-1).
 #include <cstdint>
 #include <cstdio>
 #include <memory>

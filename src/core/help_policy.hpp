@@ -20,9 +20,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace_ring.hpp"
 #include "sync/cacheline.hpp"
 
 namespace kpq {
+
+/// Trace hook shared by the policies: one help_scan event per run(), with
+/// the number of state slots this pass examined (the policy's per-op scan
+/// cost — n for help_all, K+1 for help_chunk, 2 for help_one/random).
+/// Compiles out with the queue's recorder policy; queues without a
+/// trace_type (the policies are generic) are simply not traced.
+template <typename Queue>
+inline void trace_help_scan(std::uint32_t my_tid, std::uint32_t examined) {
+  if constexpr (requires { typename Queue::trace_type; }) {
+    if constexpr (Queue::trace_type::enabled) {
+      Queue::trace_type::record(my_tid, obs::trace_kind::help_scan, 0,
+                                examined);
+    }
+  }
+}
 
 struct help_all {
   explicit help_all(std::uint32_t /*max_threads*/) {}
@@ -30,6 +46,7 @@ struct help_all {
   template <typename Queue, typename Guard>
   void run(Queue& q, std::uint32_t my_tid, std::int64_t phase, Guard& g) {
     // The loop includes our own entry (paper line 37).
+    trace_help_scan<Queue>(my_tid, q.max_threads());
     for (std::uint32_t i = 0; i < q.max_threads(); ++i) {
       q.help_if_needed(i, phase, g, my_tid);
     }
@@ -52,6 +69,7 @@ struct help_chunk {
   void run(Queue& q, std::uint32_t my_tid, std::int64_t phase, Guard& g) {
     const std::uint32_t n = q.max_threads();
     std::uint32_t& k = cursor_[my_tid].value;  // owner-only cursor
+    trace_help_scan<Queue>(my_tid, K + 1);
     for (std::uint32_t step = 0; step < K; ++step) {
       const std::uint32_t candidate = k;
       k = (k + 1 == n) ? 0 : k + 1;
@@ -83,6 +101,7 @@ struct help_random {
     s ^= s << 17;
     const auto candidate =
         static_cast<std::uint32_t>(s % q.max_threads());
+    trace_help_scan<Queue>(my_tid, 2);
     if (candidate != my_tid) q.help_if_needed(candidate, phase, g, my_tid);
     q.help_if_needed(my_tid, phase, g, my_tid);
   }
@@ -98,6 +117,7 @@ struct help_one {
   void run(Queue& q, std::uint32_t my_tid, std::int64_t phase, Guard& g) {
     const std::uint32_t n = q.max_threads();
     std::uint32_t& k = cursor_[my_tid].value;  // owner-only cursor
+    trace_help_scan<Queue>(my_tid, 2);
     const std::uint32_t candidate = k;
     k = (k + 1 == n) ? 0 : k + 1;
     if (candidate != my_tid) q.help_if_needed(candidate, phase, g, my_tid);

@@ -52,6 +52,7 @@
 #include "core/op_desc.hpp"
 #include "core/phase_policy.hpp"
 #include "harness/mem_tracker.hpp"
+#include "obs/trace_ring.hpp"
 #include "reclaim/hazard_pointers.hpp"
 #include "reclaim/reclaimer_concepts.hpp"
 #include "sync/cacheline.hpp"
@@ -78,6 +79,12 @@ struct wf_options {
   /// Test instrumentation (zero-cost by default). The progress tests swap
   /// in hooks that block a chosen thread mid-operation to prove helping.
   using hooks = no_hooks;
+  /// Event-trace recorder policy (obs/trace_ring.hpp). `obs::default_trace`
+  /// is `no_trace` unless the build defines KPQ_TRACE, so every record site
+  /// below compiles out via `if constexpr` — identical codegen to a
+  /// hook-free build. The fig_obs_overhead bench overrides this per-type
+  /// (wf_options_traced) to compare traced vs untraced in one binary.
+  using trace = obs::default_trace;
   /// Per-thread operation counters (wf_counters); zero-cost when off.
   static constexpr bool collect_stats = false;
   /// Enhancement 1: cache descriptors whose installing CAS failed.
@@ -104,6 +111,10 @@ struct wf_options_precheck : wf_options {
 };
 struct wf_options_stats : wf_options {
   static constexpr bool collect_stats = true;
+};
+/// Tracing forced on regardless of KPQ_TRACE (for overhead comparisons).
+struct wf_options_traced : wf_options {
+  using trace = obs::ring_trace;
 };
 
 /// Per-thread operation counters (collected when Options::collect_stats).
@@ -149,6 +160,9 @@ class wf_queue : public mem_tracked {
   using node_type = wf_node<T>;
   using desc_type = op_desc<T>;
   using reclaimer_type = Reclaimer;
+  /// The recorder policy, re-exported so the help policies (templated on
+  /// the queue, not the options) can hit the same sink.
+  using trace_type = typename Options::trace;
 
   /// Hazard slots used per thread: head/first, tail/last, next, descriptor,
   /// and the node named by a pending descriptor.
@@ -218,9 +232,15 @@ class wf_queue : public mem_tracked {
     node_type* node = alloc_node(std::move(value), static_cast<std::int32_t>(tid));
     publish(tid, pool_.make(tid, phase, true, true, node));  // line 63
     if constexpr (Options::collect_stats) ++stats_[tid]->enq_ops;
+    if constexpr (trace_type::enabled) {
+      trace_type::record(tid, obs::trace_kind::enq_publish, phase, 0);
+    }
     Options::hooks::after_publish(tid, /*is_enqueue=*/true);
     help_.run(*this, tid, phase, g);                         // line 64
     help_finish_enq(tid, g);                                 // line 65
+    if constexpr (trace_type::enabled) {
+      trace_type::record(tid, obs::trace_kind::enq_complete, phase, 0);
+    }
     if constexpr (Options::scrub_on_exit) scrub(tid, g, /*enq=*/true);
   }
 
@@ -235,6 +255,9 @@ class wf_queue : public mem_tracked {
     const std::int64_t phase = phase_.next_phase(*this, g, tid);   // line 99
     publish(tid, pool_.make(tid, phase, true, false, nullptr));    // line 100
     if constexpr (Options::collect_stats) ++stats_[tid]->deq_ops;
+    if constexpr (trace_type::enabled) {
+      trace_type::record(tid, obs::trace_kind::deq_publish, phase, 0);
+    }
     Options::hooks::after_publish(tid, /*is_enqueue=*/false);
     help_.run(*this, tid, phase, g);                               // line 101
     help_finish_deq(tid, g);                                       // line 102
@@ -245,6 +268,10 @@ class wf_queue : public mem_tracked {
     if (d->node != nullptr) result = d->value;  // §3.4: payload lives in d
     if constexpr (Options::collect_stats) {
       if (!result.has_value()) ++stats_[tid]->empty_deqs;
+    }
+    if constexpr (trace_type::enabled) {
+      trace_type::record(tid, obs::trace_kind::deq_complete, phase,
+                         result.has_value() ? 1 : 0);
     }
     g.clear(s_desc);
     if constexpr (Options::scrub_on_exit) scrub(tid, g, /*enq=*/false);
@@ -285,9 +312,15 @@ class wf_queue : public mem_tracked {
       node_type* node = alloc_node(*first, static_cast<std::int32_t>(tid));
       publish(tid, pool_.make(tid, phase, true, true, node));
       if constexpr (Options::collect_stats) ++stats_[tid]->enq_ops;
+      if constexpr (trace_type::enabled) {
+        trace_type::record(tid, obs::trace_kind::enq_publish, phase, 0);
+      }
       Options::hooks::after_publish(tid, /*is_enqueue=*/true);
       help_.run(*this, tid, phase, g);
       help_finish_enq(tid, g);
+      if constexpr (trace_type::enabled) {
+        trace_type::record(tid, obs::trace_kind::enq_complete, phase, 0);
+      }
     }
     if constexpr (Options::scrub_on_exit) scrub(tid, g, /*enq=*/true);
   }
@@ -304,12 +337,19 @@ class wf_queue : public mem_tracked {
     while (got < max) {
       publish(tid, pool_.make(tid, phase, true, false, nullptr));
       if constexpr (Options::collect_stats) ++stats_[tid]->deq_ops;
+      if constexpr (trace_type::enabled) {
+        trace_type::record(tid, obs::trace_kind::deq_publish, phase, 0);
+      }
       Options::hooks::after_publish(tid, /*is_enqueue=*/false);
       help_.run(*this, tid, phase, g);
       help_finish_deq(tid, g);
       desc_type* d = g.protect(s_desc, state_[tid].get());
       const bool hit = d->node != nullptr;
       if (hit) out.push_back(d->value);
+      if constexpr (trace_type::enabled) {
+        trace_type::record(tid, obs::trace_kind::deq_complete, phase,
+                           hit ? 1 : 0);
+      }
       g.clear(s_desc);
       if (!hit) {
         if constexpr (Options::collect_stats) ++stats_[tid]->empty_deqs;
@@ -382,10 +422,23 @@ class wf_queue : public mem_tracked {
                       std::uint32_t my) {
     desc_type* d = g.protect(s_desc, state_[i].get());
     if (d->pending && d->phase <= phase) {  // line 39
+      // A helping episode: this thread works on thread i's operation. Own
+      // operations (i == my) are not episodes — that is just completing.
+      // The victim's phase is captured while `d` is still hazard-protected:
+      // help_enq/help_deq reuse the s_desc slot, and completion retires the
+      // descriptor, so `d` must not be dereferenced after they return.
+      const bool traced_episode = trace_type::enabled && i != my;
+      const std::int64_t victim_phase = traced_episode ? d->phase : 0;
+      if (traced_episode) {
+        trace_type::record(my, obs::trace_kind::help_start, victim_phase, i);
+      }
       if (d->enqueue) {
         help_enq(i, phase, g, my);  // line 41
       } else {
         help_deq(i, phase, g, my);  // line 43
+      }
+      if (traced_episode) {
+        trace_type::record(my, obs::trace_kind::help_finish, victim_phase, i);
       }
     }
   }
@@ -424,6 +477,9 @@ class wf_queue : public mem_tracked {
   }
 
   void retire_node(std::uint32_t tid, node_type* n) {
+    if constexpr (trace_type::enabled) {
+      trace_type::record(tid, obs::trace_kind::retire, 0, 0);
+    }
     reclaim_.retire(tid, n, &retire_node_fn, memory_counters());
   }
   void retire_desc(std::uint32_t tid, desc_type* d) {

@@ -22,6 +22,15 @@ class log2_histogram {
  public:
   static constexpr std::size_t bucket_count = 64;
 
+  log2_histogram() = default;
+  // Copies take a relaxed snapshot of each bucket; copying while writers are
+  // active yields some interleaving of their increments, same as total().
+  log2_histogram(const log2_histogram& other) noexcept { copy_from(other); }
+  log2_histogram& operator=(const log2_histogram& other) noexcept {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+
   void add(std::uint64_t value) noexcept {
     buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
   }
@@ -105,6 +114,12 @@ class log2_histogram {
   }
 
  private:
+  void copy_from(const log2_histogram& other) noexcept {
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+      buckets_[b].store(other.count(b), std::memory_order_relaxed);
+    }
+  }
+
   std::array<std::atomic<std::uint64_t>, bucket_count> buckets_{};
 };
 

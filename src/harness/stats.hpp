@@ -38,11 +38,17 @@ class running_stats {
 
   summary finish() const noexcept {
     summary s;
+    if (n_ == 0) return s;  // all-zero: a stat that never fired must export
+                            // 0, never the ±inf/NaN of the empty state
     s.n = n_;
     s.mean = mean_;
-    s.stddev = n_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_ - 1)) : 0.0;
-    s.min = n_ > 0 ? min_ : 0.0;
-    s.max = n_ > 0 ? max_ : 0.0;
+    // m2_ can dip below zero by rounding when all samples are (near-)equal;
+    // clamp so stddev is never NaN.
+    s.stddev =
+        n_ > 1 ? std::sqrt(std::max(m2_, 0.0) / static_cast<double>(n_ - 1))
+               : 0.0;
+    s.min = min_;
+    s.max = max_;
     return s;
   }
 

@@ -1,0 +1,200 @@
+// Metrics registry: one snapshot interface over every counter surface the
+// repo already has (wf_counters, shard_stats, mem_counters, reclaimer
+// counters, bench summaries), feeding the JSON / Prometheus exporters in
+// obs/export.hpp.
+//
+// Shape: a snapshot is a flat ordered list of {name, value} gauges. Sources
+// are structural — append_* overloads match any type with the right members
+// (concepts below), so this header does not drag in the queue headers and
+// new counter structs join the registry by shape, not by registration
+// ceremony. A `registry` instance additionally holds named collector
+// callbacks for the long-running-process use case (scrape-on-demand).
+//
+// Values are doubles, sanitized at append time: a metric that never fired
+// must export 0, never NaN/inf (the n==0 guard the exporters rely on).
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kpq::obs {
+
+struct metric {
+  std::string name;
+  double value = 0.0;
+};
+
+using metrics_snapshot = std::vector<metric>;
+
+/// NaN/inf -> fallback (default 0): exported metrics are always finite.
+inline double finite_or(double v, double fallback = 0.0) noexcept {
+  return std::isfinite(v) ? v : fallback;
+}
+
+inline void append_value(metrics_snapshot& out, std::string name, double v) {
+  out.push_back({std::move(name), finite_or(v)});
+}
+
+// ------------------------------------------------------- structural sources
+
+/// wf_queue's per-thread operation counters (core/wf_queue.hpp).
+template <typename C>
+concept wf_counter_like = requires(const C& c) {
+  { c.enq_ops } -> std::convertible_to<std::uint64_t>;
+  { c.deq_ops } -> std::convertible_to<std::uint64_t>;
+  { c.empty_deqs } -> std::convertible_to<std::uint64_t>;
+  { c.helped_enq_completions } -> std::convertible_to<std::uint64_t>;
+  { c.helped_deq_completions } -> std::convertible_to<std::uint64_t>;
+  { c.link_cas_failures } -> std::convertible_to<std::uint64_t>;
+  { c.desc_cas_failures } -> std::convertible_to<std::uint64_t>;
+};
+
+template <wf_counter_like C>
+void append_metrics(metrics_snapshot& out, const std::string& prefix,
+                    const C& c) {
+  append_value(out, prefix + ".enq_ops", static_cast<double>(c.enq_ops));
+  append_value(out, prefix + ".deq_ops", static_cast<double>(c.deq_ops));
+  append_value(out, prefix + ".empty_deqs",
+               static_cast<double>(c.empty_deqs));
+  append_value(out, prefix + ".helped_enq_completions",
+               static_cast<double>(c.helped_enq_completions));
+  append_value(out, prefix + ".helped_deq_completions",
+               static_cast<double>(c.helped_deq_completions));
+  append_value(out, prefix + ".link_cas_failures",
+               static_cast<double>(c.link_cas_failures));
+  append_value(out, prefix + ".desc_cas_failures",
+               static_cast<double>(c.desc_cas_failures));
+  const double ops = static_cast<double>(c.enq_ops + c.deq_ops);
+  const double helped = static_cast<double>(c.helped_enq_completions +
+                                            c.helped_deq_completions);
+  append_value(out, prefix + ".helped_per_op", ops > 0 ? helped / ops : 0.0);
+}
+
+/// The sharded front-end's per-shard counters (scale/scale_counters.hpp).
+template <typename S>
+concept shard_stats_like = requires(const S& s) {
+  { s.enqueued } -> std::convertible_to<std::uint64_t>;
+  { s.dequeued } -> std::convertible_to<std::uint64_t>;
+  { s.stolen } -> std::convertible_to<std::uint64_t>;
+  { s.empty_scans } -> std::convertible_to<std::uint64_t>;
+  { s.steal_rate() } -> std::convertible_to<double>;
+  { s.batch_fill() } -> std::convertible_to<double>;
+};
+
+template <shard_stats_like S>
+void append_metrics(metrics_snapshot& out, const std::string& prefix,
+                    const S& s) {
+  append_value(out, prefix + ".enqueued", static_cast<double>(s.enqueued));
+  append_value(out, prefix + ".dequeued", static_cast<double>(s.dequeued));
+  append_value(out, prefix + ".stolen", static_cast<double>(s.stolen));
+  append_value(out, prefix + ".empty_scans",
+               static_cast<double>(s.empty_scans));
+  append_value(out, prefix + ".depth", static_cast<double>(s.depth()));
+  append_value(out, prefix + ".steal_rate", s.steal_rate());
+  append_value(out, prefix + ".batch_fill", s.batch_fill());
+}
+
+/// Live-heap accounting (harness/mem_tracker.hpp).
+template <typename M>
+concept mem_counters_like = requires(const M& m) {
+  { m.live_bytes() } -> std::convertible_to<std::int64_t>;
+  { m.live_objects() } -> std::convertible_to<std::int64_t>;
+  { m.total_allocs() } -> std::convertible_to<std::uint64_t>;
+};
+
+template <mem_counters_like M>
+void append_metrics(metrics_snapshot& out, const std::string& prefix,
+                    const M& m) {
+  append_value(out, prefix + ".live_bytes",
+               static_cast<double>(m.live_bytes()));
+  append_value(out, prefix + ".live_objects",
+               static_cast<double>(m.live_objects()));
+  append_value(out, prefix + ".total_allocs",
+               static_cast<double>(m.total_allocs()));
+}
+
+/// Reclamation domains (reclaim/hazard_pointers.hpp, reclaim/epoch.hpp).
+template <typename R>
+concept reclaimer_counters_like = requires(const R& r) {
+  { r.retired_count() } -> std::convertible_to<std::uint64_t>;
+  { r.freed_count() } -> std::convertible_to<std::uint64_t>;
+  { r.pending_count() } -> std::convertible_to<std::size_t>;
+};
+
+template <reclaimer_counters_like R>
+void append_metrics(metrics_snapshot& out, const std::string& prefix,
+                    const R& r) {
+  append_value(out, prefix + ".retired",
+               static_cast<double>(r.retired_count()));
+  append_value(out, prefix + ".freed", static_cast<double>(r.freed_count()));
+  append_value(out, prefix + ".pending",
+               static_cast<double>(r.pending_count()));
+}
+
+/// Bench summaries (harness/stats.hpp): exported with the n==0 guard —
+/// a summary that never saw a sample exports all-zero, not NaN.
+template <typename S>
+concept summary_like = requires(const S& s) {
+  { s.n } -> std::convertible_to<std::size_t>;
+  { s.mean } -> std::convertible_to<double>;
+  { s.stddev } -> std::convertible_to<double>;
+  { s.min } -> std::convertible_to<double>;
+  { s.max } -> std::convertible_to<double>;
+};
+
+template <summary_like S>
+void append_metrics(metrics_snapshot& out, const std::string& prefix,
+                    const S& s) {
+  append_value(out, prefix + ".n", static_cast<double>(s.n));
+  append_value(out, prefix + ".mean", s.n > 0 ? s.mean : 0.0);
+  append_value(out, prefix + ".stddev", s.n > 0 ? s.stddev : 0.0);
+  append_value(out, prefix + ".min", s.n > 0 ? s.min : 0.0);
+  append_value(out, prefix + ".max", s.n > 0 ? s.max : 0.0);
+}
+
+// ----------------------------------------------------------------- registry
+
+/// Named collectors for scrape-on-demand: a long-running process registers
+/// its counter surfaces once, then snapshot() walks them in registration
+/// order. Not thread-safe by itself — register at startup, snapshot at
+/// sampling points, same contract as reading any counter in this repo.
+class registry {
+ public:
+  using collector = std::function<void(metrics_snapshot&)>;
+
+  void add_source(std::string name, collector fn) {
+    sources_.push_back({std::move(name), std::move(fn)});
+  }
+
+  /// Convenience: register anything append_metrics() accepts, by reference.
+  /// The referee must outlive the registry (true of the queue/domain
+  /// singletons this is built for).
+  template <typename T>
+  void add(std::string prefix, const T& source) {
+    add_source(prefix, [prefix, &source](metrics_snapshot& out) {
+      append_metrics(out, prefix, source);
+    });
+  }
+
+  std::size_t source_count() const noexcept { return sources_.size(); }
+
+  metrics_snapshot snapshot() const {
+    metrics_snapshot out;
+    for (const auto& s : sources_) s.fn(out);
+    return out;
+  }
+
+ private:
+  struct source {
+    std::string name;
+    collector fn;
+  };
+  std::vector<source> sources_;
+};
+
+}  // namespace kpq::obs

@@ -1,0 +1,15 @@
+#include "obs/trace_ring.hpp"
+
+#include "sync/thread_registry.hpp"
+
+namespace kpq::obs {
+
+// Sized for the whole dense-id namespace (rings allocate lazily, so idle
+// slots cost one pointer). Function-local static: constructed on first use,
+// after main() has started, and never torn down before the last recorder.
+trace_domain& global_trace() {
+  static trace_domain domain(max_registered_threads);
+  return domain;
+}
+
+}  // namespace kpq::obs

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace_ring.hpp"
 #include "reclaim/reclaimer_concepts.hpp"
 #include "sync/cacheline.hpp"
 
@@ -125,15 +126,25 @@ class hp_domain {
     }
     std::sort(announced.begin(), announced.end());
     std::size_t kept = 0;
+    std::uint64_t freed_this_pass = 0;
     for (auto& item : r.items) {
       if (std::binary_search(announced.begin(), announced.end(), item.p)) {
         r.items[kept++] = item;
       } else {
         item.fn(item.ctx, item.p);
-        freed_count_.fetch_add(1, std::memory_order_relaxed);
+        ++freed_this_pass;
       }
     }
     r.items.resize(kept);
+    freed_count_.fetch_add(freed_this_pass, std::memory_order_relaxed);
+    // The scan is the reclaimer's only super-constant step (O(H + R)); the
+    // trace makes its frequency and yield visible next to the queue events
+    // it interleaves with. Compiled out unless KPQ_TRACE.
+    if constexpr (obs::default_trace::enabled) {
+      obs::default_trace::record(
+          tid, obs::trace_kind::reclaim_scan, 0,
+          static_cast<std::uint32_t>(freed_this_pass));
+    }
   }
 
   // --- observability (tests assert reclamation actually happens) ---

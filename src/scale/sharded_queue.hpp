@@ -46,6 +46,7 @@
 
 #include "core/queue_concepts.hpp"
 #include "harness/mem_tracker.hpp"
+#include "obs/trace_ring.hpp"
 #include "scale/batch.hpp"
 #include "scale/scale_counters.hpp"
 #include "scale/shard_policy.hpp"
@@ -106,11 +107,20 @@ class sharded_queue : public mem_tracked {
     for (std::uint32_t k = 0; k < nshards_; ++k) {
       if (auto v = shards_[s]->dequeue(tid)) {
         counters_[s]->on_dequeue(/*stolen=*/k != 0);
+        if constexpr (obs::default_trace::enabled) {
+          if (k != 0) {
+            obs::default_trace::record(tid, obs::trace_kind::shard_steal, 0,
+                                       s);
+          }
+        }
         return v;
       }
       s = (s + 1 == nshards_) ? 0 : s + 1;
     }
     counters_[home]->on_empty_scan();
+    if constexpr (obs::default_trace::enabled) {
+      obs::default_trace::record(tid, obs::trace_kind::shard_empty, 0, home);
+    }
     return std::nullopt;
   }
   std::optional<value_type> dequeue() { return dequeue(this_thread_id()); }
@@ -150,10 +160,22 @@ class sharded_queue : public mem_tracked {
         counters_[s]->on_dequeue(/*stolen=*/k != 0, from_shard);
         counters_[s]->on_batch(from_shard);
         got += from_shard;
+        if constexpr (obs::default_trace::enabled) {
+          if (k != 0) {
+            obs::default_trace::record(tid, obs::trace_kind::shard_steal, 0,
+                                       s);
+          }
+        }
       }
       s = (s + 1 == nshards_) ? 0 : s + 1;
     }
-    if (got == 0) counters_[home]->on_empty_scan();
+    if (got == 0) {
+      counters_[home]->on_empty_scan();
+      if constexpr (obs::default_trace::enabled) {
+        obs::default_trace::record(tid, obs::trace_kind::shard_empty, 0,
+                                   home);
+      }
+    }
     return got;
   }
 
