@@ -17,13 +17,25 @@
 // the raw node-size ratio is also printed. Nine samples are taken during the
 // run, exactly like the paper.
 //
+// The storage layer (src/storage/) adds two measurements on top:
+//   * a "seg WF" series — the opt queue over segment_storage, whose live
+//     bytes move in whole-segment steps and amortize reclamation;
+//   * --verify-bound — an extended MPMC run against bounded_wf_queue with a
+//     sampler thread continuously reading the exact live-byte counter
+//     (which, after the construction-baseline fix in mem_tracker.hpp,
+//     includes descriptors and construction-time allocations). ANY sample
+//     above the configured ceiling is a hard failure: the process exits
+//     non-zero. This is the acceptance check for the memory bound.
+//
 // Flags: --max-size N (default 1000000; paper reaches 10^7), --threads N
 // (default 8), --iters N, --footprint BYTES, --csv, --json PATH
-// (machine-readable series, schema kpq-bench-1, x = initial queue size).
+// (machine-readable series, schema kpq-bench-1, x = initial queue size),
+// --verify-bound [--verify-ms N] [--max-bytes N] [--policy reject|overwrite].
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -35,6 +47,7 @@
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
 #include "obs/export.hpp"
+#include "storage/bounded_wf_queue.hpp"
 #include "sync/spin_barrier.hpp"
 
 namespace {
@@ -74,6 +87,84 @@ double sampled_live_bytes(std::uint64_t size, std::uint32_t threads,
   return samples.finish().mean;
 }
 
+/// --verify-bound: extended MPMC run on bounded_wf_queue with a continuous
+/// live-byte sampler. Returns the process exit code: 0 iff no sample ever
+/// exceeded the ceiling.
+int verify_bound(std::uint32_t threads, std::uint64_t run_ms,
+                 std::size_t max_bytes, full_policy policy) {
+  using bq = bounded_wf_queue<std::uint64_t>;
+  bounded_config cfg{.max_bytes = max_bytes, .policy = policy};
+  bq q(threads, cfg);
+
+  const std::uint32_t producers = threads > 1 ? threads / 2 : 1;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> attempts{0};
+  spin_barrier barrier(threads + 1);
+  std::vector<std::thread> workers;
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      barrier.arrive_and_wait();
+      std::uint64_t n = 0;
+      if (tid < producers) {
+        while (!stop.load(std::memory_order_relaxed)) {
+          (void)q.try_enqueue(++n, tid);
+          attempts.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        while (!stop.load(std::memory_order_relaxed)) (void)q.dequeue(tid);
+      }
+    });
+  }
+  barrier.arrive_and_wait();
+
+  // The sampler IS the verifier: the counter is exact (not sampled from a
+  // GC), so one reading above the ceiling proves a violation.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(run_ms);
+  std::int64_t max_seen = 0;
+  std::uint64_t samples = 0, violations = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::int64_t live = q.live_bytes();
+    if (live > max_seen) max_seen = live;
+    if (live > static_cast<std::int64_t>(max_bytes)) ++violations;
+    ++samples;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  while (q.dequeue(0).has_value()) {
+  }
+
+  const auto st = q.stats();
+  const auto pool = q.pool_stats();
+  std::printf(
+      "== bounded ceiling verification ==\n"
+      "policy=%s threads=%u run_ms=%llu ceiling=%zu B\n"
+      "samples=%llu max_live=%lld B (%.1f%% of ceiling) violations=%llu\n"
+      "admitted=%llu rejected=%llu overwritten=%llu attempts=%llu\n"
+      "segments: allocated=%llu recycled=%llu freed=%llu live=%lld\n",
+      policy == full_policy::reject ? "reject" : "overwrite_oldest", threads,
+      static_cast<unsigned long long>(run_ms), max_bytes,
+      static_cast<unsigned long long>(samples),
+      static_cast<long long>(max_seen),
+      100.0 * static_cast<double>(max_seen) / static_cast<double>(max_bytes),
+      static_cast<unsigned long long>(violations),
+      static_cast<unsigned long long>(st.admitted),
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.overwritten),
+      static_cast<unsigned long long>(attempts.load()),
+      static_cast<unsigned long long>(pool.segments_allocated),
+      static_cast<unsigned long long>(pool.segments_recycled),
+      static_cast<unsigned long long>(pool.segments_freed),
+      static_cast<long long>(pool.segments_live));
+  if (violations != 0) {
+    std::fprintf(stderr, "FAIL: live bytes exceeded the ceiling\n");
+    return 1;
+  }
+  std::printf("PASS: ceiling held for the whole run\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,8 +172,19 @@ int main(int argc, char** argv) {
 
   cli args(argc, argv);
   if (args.get_flag("help")) {
-    std::printf("%s", "flags: --max-size N (default 1000000; paper: 10000000)\n       --threads N (default 8)  --iters N (default 2000)\n       --footprint BYTES (default 1 MiB)  --csv  --json PATH\n");
+    std::printf("%s", "flags: --max-size N (default 1000000; paper: 10000000)\n       --threads N (default 8)  --iters N (default 2000)\n       --footprint BYTES (default 1 MiB)  --csv  --json PATH\n       --verify-bound  [--verify-ms N (default 2000)]\n       [--max-bytes N (default 1 MiB)]  [--policy reject|overwrite]\n");
     return 0;
+  }
+  if (args.get_flag("verify-bound")) {
+    const auto vthreads =
+        static_cast<std::uint32_t>(args.get_u64("threads", 4));
+    const std::uint64_t verify_ms = args.get_u64("verify-ms", 2000);
+    const auto max_bytes =
+        static_cast<std::size_t>(args.get_u64("max-bytes", 1 << 20));
+    const full_policy pol = args.get_str("policy", "reject") == "overwrite"
+                                ? full_policy::overwrite_oldest
+                                : full_policy::reject;
+    return verify_bound(vthreads, verify_ms, max_bytes, pol);
   }
   const std::uint64_t max_size = args.get_u64("max-size", 1000000);
   const auto threads = static_cast<std::uint32_t>(args.get_u64("threads", 8));
@@ -105,11 +207,12 @@ int main(int argc, char** argv) {
           static_cast<double>(sizeof(ms_queue<std::uint64_t>::node)));
 
   table t({"queue size", "LF [KiB]", "base WF [KiB]", "opt WF [KiB]",
-           "base WF/LF", "opt WF/LF", "raw base/LF"});
+           "seg WF [KiB]", "base WF/LF", "opt WF/LF", "seg WF/LF",
+           "raw base/LF"});
 
   struct sample_row {
     std::uint64_t size;
-    double lf, wf_base, wf_opt;
+    double lf, wf_base, wf_opt, wf_seg;
   };
   std::vector<sample_row> samples;
 
@@ -120,12 +223,16 @@ int main(int argc, char** argv) {
         sampled_live_bytes<wf_queue_base<std::uint64_t>>(size, threads, iters);
     const double wf_opt =
         sampled_live_bytes<wf_queue_opt<std::uint64_t>>(size, threads, iters);
-    samples.push_back({size, lf, wf_base, wf_opt});
+    const double wf_seg = sampled_live_bytes<wf_queue_opt_seg<std::uint64_t>>(
+        size, threads, iters);
+    samples.push_back({size, lf, wf_base, wf_opt, wf_seg});
 
     t.add_row({std::to_string(size), fmt(lf / 1024.0, 1),
                fmt(wf_base / 1024.0, 1), fmt(wf_opt / 1024.0, 1),
+               fmt(wf_seg / 1024.0, 1),
                fmt((wf_base + footprint) / (lf + footprint), 3),
                fmt((wf_opt + footprint) / (lf + footprint), 3),
+               fmt((wf_seg + footprint) / (lf + footprint), 3),
                fmt(wf_base / lf, 3)});
   }
   t.print();
@@ -146,13 +253,16 @@ int main(int argc, char** argv) {
     w.key("x_label").value("queue_size");
     w.key("series").begin_array();
     const char* names[] = {"LF live bytes", "base WF live bytes",
-                           "opt WF live bytes"};
-    for (int s = 0; s < 3; ++s) {
+                           "opt WF live bytes", "seg WF live bytes"};
+    for (int s = 0; s < 4; ++s) {
       w.begin_object();
       w.key("name").value(names[s]);
       w.key("points").begin_array();
       for (const sample_row& r : samples) {
-        const double v = s == 0 ? r.lf : (s == 1 ? r.wf_base : r.wf_opt);
+        const double v = s == 0   ? r.lf
+                         : s == 1 ? r.wf_base
+                         : s == 2 ? r.wf_opt
+                                  : r.wf_seg;
         w.begin_object();
         w.key("x").value(r.size);
         w.key("mean_bytes").value(obs::finite_or(v));

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -35,6 +36,7 @@
 #include "obs/trace_ring.hpp"
 #include "obs/wf_metrics.hpp"
 #include "scale/sharded_queue.hpp"
+#include "storage/bounded_wf_queue.hpp"
 
 namespace {
 
@@ -201,6 +203,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Segment-pool occupancy through the metrics registry (the scrape path a
+  // long-running process would expose): run the pairs workload on a bounded
+  // segment-storage queue at the last thread count, register its pool,
+  // admission, and memory counters, and print one registry snapshot in
+  // Prometheus exposition format.
+  bounded_wf_queue<std::uint64_t> bq(
+      last_th, {.max_bytes = std::size_t{1} << 22});
+  {
+    std::vector<std::thread> ws;
+    for (std::uint32_t tid = 0; tid < last_th; ++tid) {
+      ws.emplace_back([&, tid] {
+        for (std::uint64_t i = 0; i < p.iters; ++i) {
+          bq.enqueue(encode_value(tid, i), tid);
+          (void)bq.dequeue(tid);
+        }
+      });
+    }
+    for (auto& w : ws) w.join();
+  }
+  obs::registry reg;
+  const auto pool = bq.pool_stats();
+  const auto admissions = bq.stats();
+  reg.add("kpq_segment_pool", pool);
+  reg.add("kpq_bounded", admissions);
+  reg.add("kpq_bounded_mem", bq.memory());
+  const obs::metrics_snapshot pool_snap = reg.snapshot();
+  std::printf("-- segment pool occupancy (registry snapshot, %u-thread "
+              "bounded seg WF run) --\n%s\n",
+              last_th, obs::to_prometheus(pool_snap).c_str());
+
   if (p.csv) {
     std::printf("-- csv --\n");
     t.print_csv(stdout);
@@ -260,6 +292,13 @@ int main(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
+    // The segment-pool registry snapshot, flattened (same names as the
+    // Prometheus exposition above).
+    w.key("segment_pool").begin_object();
+    for (const obs::metric& m : pool_snap) {
+      w.key(m.name).value(m.value);
+    }
+    w.end_object();
     w.end_object();
     if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
       std::fputs(w.str().c_str(), f);

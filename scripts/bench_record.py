@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Record and compare benchmark baselines (schema kpq-bench-1).
+
+Two subcommands over the figure benches (fig7, fig8, fig10, fig_sharding):
+
+  record    Run each bench's sweep with --json and write BENCH_<fig>.json at
+            the repo root. These files are the committed baselines.
+  compare   Re-run (or take --candidate-dir) and diff against the committed
+            baselines, point by point on the primary metric of each series.
+
+  --smoke   Reduced-scale record into a temp dir + schema validation +
+            structure-only comparison against the committed baselines (series
+            present, schema valid). Used by the CI bench-smoke job, where
+            shared-runner timing is too noisy for value comparisons.
+
+Regression policy
+-----------------
+Run-to-run noise on a quiet, pinned machine is ~3% on the timing benches
+(see EXPERIMENTS.md); CI runners are far noisier. The comparator therefore
+flags a point only when the primary metric worsens by more than --threshold
+(default 15%, comfortably above noise), and by default WARNS. Pass --fail to
+turn regressions into a non-zero exit for gating jobs. Value comparison is
+only meaningful between runs with identical params; when params differ the
+comparator downgrades itself to a structural check and says so.
+
+Primary metric per point: mean_s (time, lower is better) or mean_bytes
+(space, lower is better) — whichever the series carries.
+
+Stdlib only. Examples:
+  scripts/bench_record.py record
+  scripts/bench_record.py compare
+  scripts/bench_record.py compare --candidate-dir /tmp/run2 --fail
+  scripts/bench_record.py --smoke
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Sweep definitions: bench binary + args for the committed baseline
+# ("record") and for the CI smoke run ("smoke"). Scales are deliberately
+# modest — baselines must be reproducible on a small machine.
+FIGS = {
+    "fig7": {
+        "bin": "fig7_enq_deq",
+        "record": ["--threads", "4", "--iters", "10000", "--reps", "3"],
+        "smoke": ["--threads", "2", "--iters", "1000", "--reps", "2"],
+    },
+    "fig8": {
+        "bin": "fig8_fifty_fifty",
+        "record": ["--threads", "4", "--iters", "10000", "--reps", "3"],
+        "smoke": ["--threads", "2", "--iters", "1000", "--reps", "2"],
+    },
+    "fig10": {
+        "bin": "fig10_space",
+        "record": ["--max-size", "100000", "--threads", "4"],
+        "smoke": ["--max-size", "1000", "--threads", "2", "--iters", "500"],
+    },
+    "fig_sharding": {
+        "bin": "fig_sharding",
+        "record": ["--threads", "4", "--iters", "5000", "--reps", "3"],
+        "smoke": ["--threads", "2", "--iters", "1000", "--reps", "2"],
+    },
+}
+
+PRIMARY_METRICS = ("mean_s", "mean_bytes", "mean")
+
+
+def baseline_path(fig, directory):
+    return os.path.join(directory, f"BENCH_{fig}.json")
+
+
+def run_fig(fig, scale, build_dir, out_path):
+    spec = FIGS[fig]
+    binary = os.path.join(build_dir, "bench", spec["bin"])
+    if not os.path.exists(binary):
+        sys.exit(f"bench binary not found: {binary} (build the repo first)")
+    cmd = [binary, *spec[scale], "--json", out_path]
+    print(f"[{fig}] {' '.join(cmd)}")
+    subprocess.run(cmd, check=True, cwd=REPO,
+                   stdout=subprocess.DEVNULL if scale == "smoke" else None)
+    with open(out_path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "kpq-bench-1":
+        sys.exit(f"{out_path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def validate(paths):
+    subprocess.run(
+        [sys.executable, os.path.join(REPO, "scripts", "validate_bench_json.py"),
+         *paths],
+        check=True, cwd=REPO)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def primary_metric(point):
+    for key in PRIMARY_METRICS:
+        if key in point:
+            return key
+    return None
+
+
+def index_points(doc):
+    """{series name: {x: point}}"""
+    out = {}
+    for series in doc.get("series", []):
+        out[series["name"]] = {p["x"]: p for p in series.get("points", [])}
+    return out
+
+
+def compare_doc(fig, base, cand, threshold_pct, structural_only):
+    """Returns (regressions, notes): lists of message strings."""
+    regressions, notes = [], []
+    bseries, cseries = index_points(base), index_points(cand)
+
+    for name in bseries:
+        if name not in cseries:
+            regressions.append(f"{fig}: series '{name}' disappeared")
+    for name in cseries:
+        if name not in bseries:
+            notes.append(f"{fig}: new series '{name}' (no baseline)")
+
+    if base.get("params") != cand.get("params"):
+        notes.append(f"{fig}: params differ from baseline — structural "
+                     f"comparison only (values are not comparable)")
+        structural_only = True
+    if structural_only:
+        return regressions, notes
+
+    for name, bpoints in bseries.items():
+        for x, bp in bpoints.items():
+            cp = cseries.get(name, {}).get(x)
+            if cp is None:
+                regressions.append(f"{fig}: '{name}' lost point x={x}")
+                continue
+            key = primary_metric(bp)
+            if key is None or key not in cp:
+                continue
+            bv, cv = bp[key], cp[key]
+            if bv <= 0:
+                continue
+            delta = 100.0 * (cv - bv) / bv
+            if delta > threshold_pct:
+                regressions.append(
+                    f"{fig}: '{name}' x={x} {key} {bv:.6g} -> {cv:.6g} "
+                    f"(+{delta:.1f}% > {threshold_pct:.0f}%)")
+            elif delta < -threshold_pct:
+                notes.append(
+                    f"{fig}: '{name}' x={x} {key} improved {delta:.1f}%")
+    return regressions, notes
+
+
+def cmd_record(args):
+    paths = []
+    for fig in args.figs:
+        path = baseline_path(fig, REPO)
+        run_fig(fig, "record", args.build_dir, path)
+        paths.append(path)
+    validate(paths)
+    print(f"recorded baselines: {', '.join(os.path.basename(p) for p in paths)}")
+
+
+def cmd_compare(args):
+    all_regressions, all_notes = [], []
+    with tempfile.TemporaryDirectory() as tmp:
+        for fig in args.figs:
+            bpath = baseline_path(fig, REPO)
+            if not os.path.exists(bpath):
+                all_notes.append(f"{fig}: no committed baseline "
+                                 f"({os.path.basename(bpath)}) — skipped")
+                continue
+            if args.candidate_dir:
+                cpath = baseline_path(fig, args.candidate_dir)
+                if not os.path.exists(cpath):
+                    all_regressions.append(f"{fig}: candidate missing "
+                                           f"{os.path.basename(cpath)}")
+                    continue
+                cand = load(cpath)
+            else:
+                cpath = baseline_path(fig, tmp)
+                cand = run_fig(fig, "record", args.build_dir, cpath)
+            regs, notes = compare_doc(fig, load(bpath), cand,
+                                      args.threshold, False)
+            all_regressions += regs
+            all_notes += notes
+    report(all_regressions, all_notes, args.fail)
+
+
+def cmd_smoke(args):
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        all_regressions, all_notes = [], []
+        for fig in args.figs:
+            cpath = baseline_path(fig, tmp)
+            cand = run_fig(fig, "smoke", args.build_dir, cpath)
+            paths.append(cpath)
+            bpath = baseline_path(fig, REPO)
+            if os.path.exists(bpath):
+                regs, notes = compare_doc(fig, load(bpath), cand,
+                                          args.threshold,
+                                          structural_only=True)
+                all_regressions += regs
+                all_notes += notes
+            else:
+                all_notes.append(f"{fig}: no committed baseline — "
+                                 f"schema check only")
+        validate(paths)
+    print("smoke: schema valid for", ", ".join(args.figs))
+    report(all_regressions, all_notes, args.fail)
+
+
+def report(regressions, notes, fail):
+    for n in notes:
+        print(f"note: {n}")
+    for r in regressions:
+        print(f"REGRESSION: {r}")
+    if regressions:
+        if fail:
+            sys.exit(1)
+        print(f"({len(regressions)} regression(s); warn-only — "
+              f"pass --fail to gate)")
+    else:
+        print("no regressions")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("command", nargs="?", choices=["record", "compare"],
+                    help="record baselines or compare against them")
+    ap.add_argument("--smoke", action="store_true",
+                    help="reduced-scale run + schema/structure check (CI)")
+    ap.add_argument("--build-dir", default=os.path.join(REPO, "build"))
+    ap.add_argument("--figs", default=",".join(FIGS),
+                    help=f"comma list from: {','.join(FIGS)}")
+    ap.add_argument("--candidate-dir",
+                    help="compare: take BENCH_<fig>.json from here instead "
+                         "of re-running")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="regression threshold in %% on the primary metric "
+                         "(default 15; machine noise is ~3%%)")
+    ap.add_argument("--fail", action="store_true",
+                    help="exit non-zero on regressions (default: warn)")
+    args = ap.parse_args()
+    args.figs = [f.strip() for f in args.figs.split(",") if f.strip()]
+    for f in args.figs:
+        if f not in FIGS:
+            sys.exit(f"unknown fig '{f}' (choose from {', '.join(FIGS)})")
+
+    if args.smoke:
+        cmd_smoke(args)
+    elif args.command == "record":
+        cmd_record(args)
+    elif args.command == "compare":
+        cmd_compare(args)
+    else:
+        sys.exit("nothing to do: give a command (record|compare) or --smoke")
+
+
+if __name__ == "__main__":
+    main()

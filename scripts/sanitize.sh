@@ -9,6 +9,9 @@
 #   scripts/sanitize.sh                          # ASan+UBSan and TSan, all tests
 #   scripts/sanitize.sh thread                   # TSan only, all tests
 #   scripts/sanitize.sh thread -- -R 'Sharded'   # TSan, filtered ctest run
+#   scripts/sanitize.sh tsan-storage             # TSan, storage-layer suites
+#                                                # (segment retirement + the
+#                                                # bounded queue's policies)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,9 +25,18 @@ ctest_args=("$@")
 [[ ${#modes[@]} -eq 0 ]] && modes=(address thread)
 
 for mode in "${modes[@]}"; do
+  filter=()
+  if [[ "$mode" == "tsan-storage" ]]; then
+    # Shortcut: TSan over every suite that exercises src/storage/ — the
+    # segment-storage unit/stress tests, the bounded-policy tests, the
+    # segment variants of the random-schedule linearizability cross-check,
+    # and the reclaimers' retire_range path.
+    mode=thread
+    filter=(-R 'Storage|Bounded|Segment|RetireRange|MemAccounting|Reclaim')
+  fi
   echo "=== sanitizer: $mode ==="
   cmake -B "build-$mode-san" -G Ninja -DKPQ_SANITIZE="$mode"
   cmake --build "build-$mode-san"
   ctest --test-dir "build-$mode-san" --output-on-failure \
-    ${ctest_args[@]+"${ctest_args[@]}"}
+    ${filter[@]+"${filter[@]}"} ${ctest_args[@]+"${ctest_args[@]}"}
 done

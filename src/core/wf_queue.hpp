@@ -55,6 +55,8 @@
 #include "obs/trace_ring.hpp"
 #include "reclaim/hazard_pointers.hpp"
 #include "reclaim/reclaimer_concepts.hpp"
+#include "storage/heap_node_storage.hpp"
+#include "storage/storage_concepts.hpp"
 #include "sync/cacheline.hpp"
 #include "sync/thread_registry.hpp"
 
@@ -148,18 +150,23 @@ struct wf_counters {
 
 template <typename T, typename HelpPolicy = help_all,
           typename PhasePolicy = scan_max_phase, typename Reclaimer = hp_domain,
-          typename Options = wf_options>
+          typename Options = wf_options,
+          typename Storage = heap_node_storage<T>>
 class wf_queue : public mem_tracked {
   static_assert(std::is_default_constructible_v<T>,
                 "op_desc carries a T payload slot");
   static_assert(std::is_copy_constructible_v<T>,
                 "helpers copy the dequeued payload concurrently");
+  static_assert(node_storage_for<Storage, Reclaimer>,
+                "Storage must satisfy the node-storage contract "
+                "(storage/storage_concepts.hpp)");
 
  public:
   using value_type = T;
   using node_type = wf_node<T>;
   using desc_type = op_desc<T>;
   using reclaimer_type = Reclaimer;
+  using storage_type = Storage;
   /// The recorder policy, re-exported so the help policies (templated on
   /// the queue, not the options) can hit the same sink.
   using trace_type = typename Options::trace;
@@ -178,11 +185,13 @@ class wf_queue : public mem_tracked {
   /// `max_threads` bounds the number of distinct thread ids (dense, from
   /// kpq::this_thread_id() or passed explicitly) that may ever operate on
   /// this queue (paper: NUM_THRDS). Pass `mc` to account every node and
-  /// descriptor allocation from the first one (the Figure 10 bench does);
-  /// attaching later via set_memory_counters() leaves construction-time
-  /// allocations uncounted.
+  /// descriptor allocation from the first one (the Figure 10 bench does).
+  /// Attaching later via set_memory_counters() is also exact: construction-
+  /// time allocations accumulate into a baseline that the attach replays
+  /// (mem_tracker.hpp).
   explicit wf_queue(std::uint32_t max_threads, mem_counters* mc = nullptr)
       : n_(max_threads),
+        storage_(max_threads, this),
         reclaim_(max_threads, hp_slots),
         pool_(max_threads, Options::descriptor_cache, this),
         help_(max_threads),
@@ -190,13 +199,14 @@ class wf_queue : public mem_tracked {
         state_(max_threads),
         stats_(Options::collect_stats ? max_threads : 0) {
     set_memory_counters(mc);
-    node_type* sentinel = alloc_node(T{}, no_tid);  // paper line 28
+    node_type* sentinel = alloc_node(0, T{}, no_tid);  // paper line 28
     head_.store(sentinel, std::memory_order_relaxed);
     tail_.store(sentinel, std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < n_; ++i) {  // paper lines 32-34
       state_[i]->store(pool_.make(i, no_phase, false, true, nullptr),
                        std::memory_order_relaxed);
     }
+    seal_baseline();
     std::atomic_thread_fence(std::memory_order_seq_cst);
   }
 
@@ -209,7 +219,7 @@ class wf_queue : public mem_tracked {
     node_type* n = head_.load(std::memory_order_relaxed);
     while (n != nullptr) {
       node_type* next = n->next.load(std::memory_order_relaxed);
-      free_node(n);
+      storage_.release(n);
       n = next;
     }
     for (std::uint32_t i = 0; i < n_; ++i) {
@@ -217,7 +227,9 @@ class wf_queue : public mem_tracked {
       assert(!d->pending && "destroying a queue with an operation in flight");
       free_desc(d);
     }
-    // reclaim_ and pool_ drain their retired/cached objects on destruction.
+    // reclaim_ and pool_ drain their retired/cached objects on destruction;
+    // reclaim_ is declared after storage_ so segment reclamation callbacks
+    // still have a live storage to recycle into (storage_concepts.hpp).
   }
 
   // ---------------------------------------------------------------- enqueue
@@ -229,7 +241,8 @@ class wf_queue : public mem_tracked {
     assert(tid < n_);
     auto g = reclaim_.enter(tid);
     const std::int64_t phase = phase_.next_phase(*this, g, tid);  // line 62
-    node_type* node = alloc_node(std::move(value), static_cast<std::int32_t>(tid));
+    node_type* node =
+        alloc_node(tid, std::move(value), static_cast<std::int32_t>(tid));
     publish(tid, pool_.make(tid, phase, true, true, node));  // line 63
     if constexpr (Options::collect_stats) ++stats_[tid]->enq_ops;
     if constexpr (trace_type::enabled) {
@@ -309,7 +322,7 @@ class wf_queue : public mem_tracked {
     auto g = reclaim_.enter(tid);
     const std::int64_t phase = phase_.next_phase(*this, g, tid);
     for (; first != last; ++first) {
-      node_type* node = alloc_node(*first, static_cast<std::int32_t>(tid));
+      node_type* node = alloc_node(tid, *first, static_cast<std::int32_t>(tid));
       publish(tid, pool_.make(tid, phase, true, true, node));
       if constexpr (Options::collect_stats) ++stats_[tid]->enq_ops;
       if constexpr (trace_type::enabled) {
@@ -376,6 +389,8 @@ class wf_queue : public mem_tracked {
   bool empty_hint() { return empty_hint(this_thread_id()); }
 
   reclaimer_type& reclaimer() noexcept { return reclaim_; }
+  storage_type& storage() noexcept { return storage_; }
+  const storage_type& storage() const noexcept { return storage_; }
   const desc_pool<T>& descriptor_pool() const noexcept { return pool_; }
 
   /// Per-thread counters (meaningful only with Options::collect_stats;
@@ -449,26 +464,18 @@ class wf_queue : public mem_tracked {
   using state_slot = std::atomic<desc_type*>;
 
   // ------------------------------------------------------------- allocation
+  // Nodes live wherever the Storage policy puts them (storage/); descriptors
+  // stay heap objects recycled through desc_pool — they are small, reused
+  // aggressively, and their lifetime is tied to `state`, not the list.
 
-  node_type* alloc_node(T v, std::int32_t etid) {
-    account_alloc(sizeof(node_type));
-    return new node_type(std::move(v), etid);
-  }
-  void free_node(node_type* n) noexcept {
-    account_free(sizeof(node_type));
-    delete n;
+  node_type* alloc_node(std::uint32_t tid, T v, std::int32_t etid) {
+    return storage_.alloc(tid, std::move(v), etid, reclaim_);
   }
   void free_desc(desc_type* d) noexcept {
     account_free(sizeof(desc_type));
     delete d;
   }
 
-  static void retire_node_fn(void* ctx, void* p) {
-    if (ctx != nullptr) {
-      static_cast<mem_counters*>(ctx)->on_free(sizeof(node_type));
-    }
-    delete static_cast<node_type*>(p);
-  }
   static void retire_desc_fn(void* ctx, void* p) {
     if (ctx != nullptr) {
       static_cast<mem_counters*>(ctx)->on_free(sizeof(desc_type));
@@ -480,7 +487,7 @@ class wf_queue : public mem_tracked {
     if constexpr (trace_type::enabled) {
       trace_type::record(tid, obs::trace_kind::retire, 0, 0);
     }
-    reclaim_.retire(tid, n, &retire_node_fn, memory_counters());
+    storage_.retire(tid, n, reclaim_);
   }
   void retire_desc(std::uint32_t tid, desc_type* d) {
     reclaim_.retire(tid, d, &retire_desc_fn, memory_counters());
@@ -681,6 +688,8 @@ class wf_queue : public mem_tracked {
   // ------------------------------------------------------------------- data
 
   const std::uint32_t n_;
+  Storage storage_;  // before reclaim_: reclaimer shutdown drains segment
+                     // retirements through callbacks into the storage
   Reclaimer reclaim_;
   desc_pool<T> pool_;
   HelpPolicy help_;

@@ -40,6 +40,8 @@
 #include "core/op_desc.hpp"
 #include "harness/mem_tracker.hpp"
 #include "reclaim/hazard_pointers.hpp"
+#include "storage/heap_node_storage.hpp"
+#include "storage/storage_concepts.hpp"
 #include "sync/cacheline.hpp"
 #include "sync/thread_registry.hpp"
 
@@ -63,16 +65,21 @@ struct fps_options {
 };
 
 template <typename T, typename Reclaimer = hp_domain,
-          typename Options = fps_options>
+          typename Options = fps_options,
+          typename Storage = heap_node_storage<T>>
 class wf_queue_fps : public mem_tracked {
   static_assert(std::is_default_constructible_v<T>);
   static_assert(std::is_copy_constructible_v<T>);
+  static_assert(node_storage_for<Storage, Reclaimer>,
+                "Storage must satisfy the node-storage contract "
+                "(storage/storage_concepts.hpp)");
 
  public:
   using value_type = T;
   using node_type = wf_node<T>;
   using desc_type = op_desc<T>;
   using reclaimer_type = Reclaimer;
+  using storage_type = Storage;
 
   static constexpr std::uint32_t hp_slots = 5;
   enum slot : std::uint32_t {
@@ -92,18 +99,20 @@ class wf_queue_fps : public mem_tracked {
 
   explicit wf_queue_fps(std::uint32_t max_threads, mem_counters* mc = nullptr)
       : n_(max_threads),
+        storage_(max_threads, this),
         reclaim_(max_threads, hp_slots),
         pool_(max_threads, Options::descriptor_cache, this),
         cursor_(max_threads),
         state_(max_threads) {
     set_memory_counters(mc);
-    node_type* sentinel = alloc_node(T{}, no_tid);
+    node_type* sentinel = alloc_node(0, T{}, no_tid);
     head_.store(sentinel, std::memory_order_relaxed);
     tail_.store(sentinel, std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < n_; ++i) {
       state_[i]->store(pool_.make(i, no_phase, false, true, nullptr),
                        std::memory_order_relaxed);
     }
+    seal_baseline();
     std::atomic_thread_fence(std::memory_order_seq_cst);
   }
 
@@ -114,7 +123,7 @@ class wf_queue_fps : public mem_tracked {
     node_type* n = head_.load(std::memory_order_relaxed);
     while (n != nullptr) {
       node_type* next = n->next.load(std::memory_order_relaxed);
-      free_node(n);
+      storage_.release(n);
       n = next;
     }
     for (std::uint32_t i = 0; i < n_; ++i) {
@@ -135,7 +144,7 @@ class wf_queue_fps : public mem_tracked {
 
     // Fast path: plain MS enqueue, bounded attempts. enq_tid = -1 marks a
     // fast node: helpers fix only the tail for it.
-    node_type* node = alloc_node(std::move(value), no_tid);
+    node_type* node = alloc_node(tid, std::move(value), no_tid);
     for (std::uint32_t attempt = 0; attempt < Options::max_tries; ++attempt) {
       node_type* last = g.protect(s_last, tail_);
       node_type* next = last->next.load(std::memory_order_seq_cst);
@@ -215,6 +224,8 @@ class wf_queue_fps : public mem_tracked {
 
   std::uint32_t max_threads() const noexcept { return n_; }
   reclaimer_type& reclaimer() noexcept { return reclaim_; }
+  storage_type& storage() noexcept { return storage_; }
+  const storage_type& storage() const noexcept { return storage_; }
 
   bool empty_hint(std::uint32_t tid) {
     auto g = reclaim_.enter(tid);
@@ -243,23 +254,12 @@ class wf_queue_fps : public mem_tracked {
 
   // ------------------------------------------------------------- allocation
 
-  node_type* alloc_node(T v, std::int32_t etid) {
-    account_alloc(sizeof(node_type));
-    return new node_type(std::move(v), etid);
-  }
-  void free_node(node_type* n) noexcept {
-    account_free(sizeof(node_type));
-    delete n;
+  node_type* alloc_node(std::uint32_t tid, T v, std::int32_t etid) {
+    return storage_.alloc(tid, std::move(v), etid, reclaim_);
   }
   void free_desc(desc_type* d) noexcept {
     account_free(sizeof(desc_type));
     delete d;
-  }
-  static void retire_node_fn(void* ctx, void* p) {
-    if (ctx != nullptr) {
-      static_cast<mem_counters*>(ctx)->on_free(sizeof(node_type));
-    }
-    delete static_cast<node_type*>(p);
   }
   static void retire_desc_fn(void* ctx, void* p) {
     if (ctx != nullptr) {
@@ -268,7 +268,7 @@ class wf_queue_fps : public mem_tracked {
     delete static_cast<desc_type*>(p);
   }
   void retire_node(std::uint32_t tid, node_type* n) {
-    reclaim_.retire(tid, n, &retire_node_fn, memory_counters());
+    storage_.retire(tid, n, reclaim_);
   }
   void retire_desc(std::uint32_t tid, desc_type* d) {
     reclaim_.retire(tid, d, &retire_desc_fn, memory_counters());
@@ -437,6 +437,8 @@ class wf_queue_fps : public mem_tracked {
   // ------------------------------------------------------------------- data
 
   const std::uint32_t n_;
+  Storage storage_;  // before reclaim_: reclaimer shutdown drains segment
+                     // retirements through callbacks into the storage
   Reclaimer reclaim_;
   desc_pool<T> pool_;
   std::vector<padded<std::uint32_t>> cursor_;  // help_someone's cyclic cursor

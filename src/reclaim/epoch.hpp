@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -91,6 +92,17 @@ class epoch_domain {
       t.since_flush = 0;
       try_advance(tid);
     }
+  }
+
+  /// Range retirement: under EBR the guard protects EVERYTHING read inside
+  /// it, so a range needs no special handling — it is freed two epoch
+  /// advances after retirement like any object. Advance eagerly for the same
+  /// segment-turnaround reason hp_domain scans eagerly (amortized: one call
+  /// per segment of nodes).
+  void retire_range(std::uint32_t tid, void* base, std::size_t /*bytes*/,
+                    retire_fn fn, void* ctx) {
+    retire(tid, base, fn, ctx);
+    try_advance(tid);
   }
 
   /// Advance the global epoch if every pinned thread has caught up, then

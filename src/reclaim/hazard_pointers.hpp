@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -108,9 +109,25 @@ class hp_domain {
   void retire(std::uint32_t tid, void* p, retire_fn fn, void* ctx) {
     assert(tid < max_threads_);
     auto& r = retired_[tid].get();
-    r.items.push_back({p, fn, ctx});
+    r.items.push_back({p, fn, ctx, 0});
     retired_count_.fetch_add(1, std::memory_order_relaxed);
     if (r.items.size() >= scan_threshold_) scan(tid);
+  }
+
+  /// Range retirement (storage/segment_storage): `fn(ctx, base)` runs once
+  /// no announcement names any address in [base, base+bytes). Scans
+  /// eagerly — a range retirement happens once per SEGMENT of node
+  /// retirements, so the O(H + R) pass here is amortized over the segment's
+  /// cells and keeps segment turnaround (and therefore the bounded queue's
+  /// live-byte floor) low instead of waiting for the count threshold.
+  void retire_range(std::uint32_t tid, void* base, std::size_t bytes,
+                    retire_fn fn, void* ctx) {
+    assert(tid < max_threads_);
+    assert(bytes > 0);
+    auto& r = retired_[tid].get();
+    r.items.push_back({base, fn, ctx, bytes});
+    retired_count_.fetch_add(1, std::memory_order_relaxed);
+    scan(tid);
   }
 
   /// One reclamation pass for `tid`'s retired list: free everything not
@@ -128,7 +145,18 @@ class hp_domain {
     std::size_t kept = 0;
     std::uint64_t freed_this_pass = 0;
     for (auto& item : r.items) {
-      if (std::binary_search(announced.begin(), announced.end(), item.p)) {
+      // Exact retirements (bytes == 0) hit only their own address; range
+      // retirements hit if any announced pointer falls inside
+      // [p, p + bytes) — one lower_bound either way.
+      const auto it =
+          std::lower_bound(announced.begin(), announced.end(), item.p);
+      const bool announced_hit =
+          item.bytes == 0
+              ? (it != announced.end() && *it == item.p)
+              : (it != announced.end() &&
+                 reinterpret_cast<std::uintptr_t>(*it) <
+                     reinterpret_cast<std::uintptr_t>(item.p) + item.bytes);
+      if (announced_hit) {
         r.items[kept++] = item;
       } else {
         item.fn(item.ctx, item.p);
@@ -174,6 +202,7 @@ class hp_domain {
     void* p;
     retire_fn fn;
     void* ctx;
+    std::size_t bytes;  // 0 = exact-address item; else [p, p+bytes) range
   };
   struct retired_list {
     std::vector<retired_item> items;

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -54,6 +55,12 @@ class leaky_domain {
   void retire(std::uint32_t tid, void* p, retire_fn fn, void* ctx) {
     retired_[tid]->items.push_back({p, fn, ctx});
     retired_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Range retirement: leaked like everything else until the domain dies.
+  void retire_range(std::uint32_t tid, void* base, std::size_t /*bytes*/,
+                    retire_fn fn, void* ctx) {
+    retire(tid, base, fn, ctx);
   }
 
   std::uint64_t retired_count() const noexcept {

@@ -85,6 +85,34 @@ class sharded_queue : public mem_tracked {
     }
   }
 
+  /// Factory construction, for inner queues whose constructor needs more
+  /// than (max_threads, mc) — the motivating case is bounded shards:
+  ///
+  ///   sharded_queue<bounded_wf_queue<T>> q(S, n,
+  ///       [&](std::uint32_t s) {
+  ///         return std::make_unique<bounded_wf_queue<T>>(n, cfg);
+  ///       });
+  ///
+  /// Composing the front-end over bounded shards gives a sharded structure
+  /// whose TOTAL memory is capped at S * cfg.max_bytes, with per-shard
+  /// admission (a shard at its ceiling rejects/blocks independently; the
+  /// work-stealing dequeue scan is unaffected).
+  template <typename Factory>
+    requires std::is_invocable_r_v<std::unique_ptr<Q>, Factory, std::uint32_t>
+  sharded_queue(std::uint32_t shard_count, std::uint32_t max_threads,
+                Factory&& make_shard)
+      : nshards_(shard_count),
+        n_(max_threads),
+        policy_(shard_count),
+        counters_(shard_count) {
+    assert(shard_count >= 1);
+    shards_.reserve(nshards_);
+    for (std::uint32_t s = 0; s < nshards_; ++s) {
+      shards_.push_back(make_shard(s));
+      assert(shards_.back() != nullptr);
+    }
+  }
+
   sharded_queue(const sharded_queue&) = delete;
   sharded_queue& operator=(const sharded_queue&) = delete;
 

@@ -1,0 +1,269 @@
+// bounded_wf_queue<T>: the KP wait-free queue with a HARD ceiling on live
+// memory, built on segment_storage (the wCQ design point: bounded memory is
+// only meaningful when allocation and reclamation have a fixed-size unit).
+//
+// The ceiling is enforced by ADMISSION, not by a slotted ring: every
+// enqueue first checks the queue's exact live-byte counter (mem_tracker —
+// nodes, descriptors, and segments all flow through it) against
+// `max_bytes` minus a fixed headroom covering the worst case the already-
+// admitted in-flight operations can still allocate. The bound argument
+// (docs/MEMORY.md §4): any allocation happens inside an operation whose
+// admission read live <= max_bytes - headroom; between any such read and
+// the allocation, each of the n threads has at most one partially-complete
+// operation, and one operation allocates at most
+// per_op = Storage::max_alloc_bytes + desc_slack * sizeof(op_desc<T>)
+// bytes, so live never exceeds (max_bytes - n*per_op) + n*per_op.
+//
+// Full-queue policies:
+//   * reject           — try_enqueue returns false; enqueue drops. The
+//                        wait-free choice: admission is one counter read.
+//   * block            — producers wait until a dequeue (or the reclaimer
+//                        returning a segment) makes room, or close() is
+//                        called. Deliberately forfeits wait-freedom for
+//                        producers at the ceiling — same split as
+//                        blocking_adapter documents for empty-queue waits;
+//                        consumers and under-ceiling producers keep the
+//                        wait-free step bound.
+//   * overwrite_oldest — drop elements from the head until there is room
+//                        (bounded-buffer telemetry semantics). If the queue
+//                        is EMPTY and still over the ceiling (live bytes
+//                        held by not-yet-reclaimed segments/descriptors),
+//                        it degrades to reject: the ceiling is never
+//                        exceeded by design, even transiently.
+//
+// This is an adapter, not a re-implementation: the inner queue is the
+// unmodified wf_queue (any variant) over segment_storage, so every
+// linearizability and helping property is inherited.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/wf_queue.hpp"
+#include "core/wf_queue_fps.hpp"
+#include "storage/segment_storage.hpp"
+#include "sync/cacheline.hpp"
+#include "sync/thread_registry.hpp"
+
+namespace kpq {
+
+// Segment-storage variants of the paper's queues (same policy grid as the
+// heap aliases in wf_queue.hpp).
+template <typename T, typename R = hp_domain>
+using wf_queue_base_seg =
+    wf_queue<T, help_all, scan_max_phase, R, wf_options, segment_storage<T>>;
+template <typename T, typename R = hp_domain>
+using wf_queue_opt_seg =
+    wf_queue<T, help_one, fetch_add_phase, R, wf_options, segment_storage<T>>;
+template <typename T, typename R = hp_domain>
+using wf_queue_fps_seg = wf_queue_fps<T, R, fps_options, segment_storage<T>>;
+
+enum class full_policy : std::uint8_t { reject, block, overwrite_oldest };
+
+struct bounded_config {
+  /// Ceiling on the queue's total live bytes (nodes + descriptors +
+  /// segments), as counted by its mem_counters. Must exceed the fixed
+  /// construction footprint plus the admission headroom or every enqueue is
+  /// rejected (the constructor asserts a sane floor).
+  std::size_t max_bytes;
+  full_policy policy = full_policy::reject;
+  /// block policy: waiters re-check at this interval even without a
+  /// notification — reclaimer scans return segment memory asynchronously to
+  /// any dequeue, so space can appear with nobody to signal it.
+  std::chrono::milliseconds block_recheck{1};
+  /// Headroom slack for descriptor churn, per thread, in descriptors. The
+  /// steady state allocates ~none (desc_pool recycles); this covers the
+  /// cold-start and helping bursts between admission checks. docs/MEMORY.md
+  /// §4 discusses the sizing.
+  std::uint32_t desc_slack_per_thread = 8;
+};
+
+/// Counters for the policy outcomes (exported via stats(); the obs registry
+/// picks them up structurally).
+struct bounded_counters {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t overwritten = 0;  // elements dropped by overwrite_oldest
+  std::uint64_t block_waits = 0;  // times a producer actually slept
+};
+
+template <typename T, typename Inner = wf_queue_opt_seg<T>>
+class bounded_wf_queue {
+ public:
+  using value_type = T;
+  using inner_type = Inner;
+  using storage_type = typename Inner::storage_type;
+
+  bounded_wf_queue(std::uint32_t max_threads, bounded_config cfg)
+      : cfg_(cfg),
+        headroom_(static_cast<std::size_t>(max_threads) *
+                  (storage_type::max_alloc_bytes +
+                   cfg.desc_slack_per_thread *
+                       sizeof(typename Inner::desc_type))),
+        q_(max_threads, &mc_) {
+    // The ceiling must leave room for at least one admitted enqueue on top
+    // of the construction footprint, or the queue is unusable.
+    assert(static_cast<std::int64_t>(cfg_.max_bytes) >=
+               mc_.live_bytes() + static_cast<std::int64_t>(headroom_) &&
+           "max_bytes below construction footprint + admission headroom");
+  }
+
+  bounded_wf_queue(const bounded_wf_queue&) = delete;
+  bounded_wf_queue& operator=(const bounded_wf_queue&) = delete;
+
+  // ---------------------------------------------------------------- enqueue
+
+  /// Policy-aware admission. Returns false iff the element was NOT inserted:
+  /// reject → ceiling reached; block → queue closed (after waiting);
+  /// overwrite_oldest → ceiling reached with nothing left to drop.
+  bool try_enqueue(T value, std::uint32_t tid) {
+    switch (cfg_.policy) {
+      case full_policy::reject:
+        if (!has_room()) {
+          count(&bounded_counters::rejected, tid);
+          return false;
+        }
+        break;
+      case full_policy::block:
+        if (!wait_for_room(tid)) {
+          count(&bounded_counters::rejected, tid);
+          return false;  // closed while waiting
+        }
+        break;
+      case full_policy::overwrite_oldest:
+        while (!has_room()) {
+          if (!q_.dequeue(tid).has_value()) {
+            // Empty yet over the ceiling: the remaining live bytes are
+            // segments/descriptors awaiting reclamation. Never exceed the
+            // ceiling — degrade to reject.
+            count(&bounded_counters::rejected, tid);
+            return false;
+          }
+          count(&bounded_counters::overwritten, tid);
+        }
+        break;
+    }
+    q_.enqueue(std::move(value), tid);
+    count(&bounded_counters::admitted, tid);
+    return true;
+  }
+  bool try_enqueue(T value) {
+    return try_enqueue(std::move(value), this_thread_id());
+  }
+
+  /// mpmc_queue-compatible enqueue: applies the policy and discards the
+  /// admission result. Use try_enqueue when rejection must be observed.
+  void enqueue(T value, std::uint32_t tid) {
+    (void)try_enqueue(std::move(value), tid);
+  }
+  void enqueue(T value) { enqueue(std::move(value), this_thread_id()); }
+
+  // ---------------------------------------------------------------- dequeue
+
+  std::optional<T> dequeue(std::uint32_t tid) {
+    std::optional<T> v = q_.dequeue(tid);
+    if (cfg_.policy == full_policy::block && v.has_value() &&
+        waiters_.load(std::memory_order_seq_cst) > 0) {
+      // A dequeue frees at least one cell's worth of budget eventually;
+      // wake one producer to re-check. Lock pairs with the waiter's
+      // register-then-recheck, exactly as in blocking_adapter.
+      std::lock_guard<std::mutex> lk(m_);
+      cv_.notify_one();
+    }
+    return v;
+  }
+  std::optional<T> dequeue() { return dequeue(this_thread_id()); }
+
+  // ------------------------------------------------------------- lifecycle
+
+  /// Unblocks every waiting producer (they return false). Consumers can
+  /// keep draining; further try_enqueues fail under the block policy.
+  void close() {
+    std::lock_guard<std::mutex> lk(m_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return closed_;
+  }
+
+  // ---------------------------------------------------------- observability
+
+  std::uint32_t max_threads() const noexcept { return q_.max_threads(); }
+  bool empty_hint(std::uint32_t tid) { return q_.empty_hint(tid); }
+  bool empty_hint() { return q_.empty_hint(); }
+  std::size_t unsafe_size() const { return q_.unsafe_size(); }
+  std::size_t max_bytes() const noexcept { return cfg_.max_bytes; }
+  full_policy policy() const noexcept { return cfg_.policy; }
+  std::int64_t live_bytes() const noexcept { return mc_.live_bytes(); }
+  const mem_counters& memory() const noexcept { return mc_; }
+  inner_type& inner() noexcept { return q_; }
+  storage_type& storage() noexcept { return q_.storage(); }
+  segment_pool_stats pool_stats() const noexcept {
+    return q_.storage().pool_stats();
+  }
+
+  bounded_counters stats() const {
+    bounded_counters total;
+    for (std::uint32_t i = 0; i < q_.max_threads(); ++i) {
+      const bounded_counters& c = counters_[i].get();
+      total.admitted += c.admitted;
+      total.rejected += c.rejected;
+      total.overwritten += c.overwritten;
+      total.block_waits += c.block_waits;
+    }
+    return total;
+  }
+
+ private:
+  bool has_room() const noexcept {
+    return mc_.live_bytes() + static_cast<std::int64_t>(headroom_) <=
+           static_cast<std::int64_t>(cfg_.max_bytes);
+  }
+
+  /// Block-policy wait: returns true when there is room, false when the
+  /// queue was closed. Timed re-check because reclamation can free segments
+  /// with no dequeue (hence no notify) accompanying it.
+  bool wait_for_room(std::uint32_t tid) {
+    if (has_room()) return true;  // fast path, no lock
+    std::unique_lock<std::mutex> lk(m_);
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    count(&bounded_counters::block_waits, tid);
+    bool room;
+    for (;;) {
+      // Re-check after registering: a dequeue that saw waiters_ == 0 must
+      // have completed before our fetch_add, so its space is visible here.
+      room = has_room();
+      if (room || closed_) break;
+      cv_.wait_for(lk, cfg_.block_recheck);
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    return room;
+  }
+
+  void count(std::uint64_t bounded_counters::* field, std::uint32_t tid) {
+    counters_[tid].get().*field += 1;  // owner-thread-only, padded
+  }
+
+  bounded_config cfg_;
+  std::size_t headroom_;
+  mem_counters mc_;  // before q_: the inner queue's ctor attaches to it
+  Inner q_;
+  std::vector<padded<bounded_counters>> counters_{q_.max_threads()};
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> waiters_{0};
+  bool closed_ = false;  // guarded by m_
+};
+
+}  // namespace kpq

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "harness/workload.hpp"
+#include "reclaim/leaky.hpp"
+#include "storage/segment_storage.hpp"
 #include "support/step_machines.hpp"
 #include "verify/fifo_checker.hpp"
 #include "verify/history.hpp"
@@ -24,18 +26,33 @@
 namespace kpq {
 namespace {
 
-using testing::build_machine;
-using testing::deq_machine;
-using testing::machine;
+using testing::basic_deq_machine;
+using testing::basic_machine;
+using testing::build_machine_for;
 using testing::op_spec;
 using testing::sm_queue;
+
+/// Segment-storage variant driven through the same machines: exercises the
+/// bump allocation, seal/consume state machine, and exactly-once segment
+/// retirement under every sampled interleaving. leaky_domain, because the
+/// machines hold node pointers across steps without a guard and segment
+/// retirement reclaims eagerly (step_machines.hpp explains; the real-thread
+/// TSan stress tests cover eager reclamation).
+using seg_queue = wf_queue<std::uint64_t, help_all, scan_max_phase,
+                           leaky_domain, wf_options,
+                           segment_storage<std::uint64_t>>;
+/// Small segments so every run crosses many seal/retire boundaries.
+using seg_queue_small =
+    wf_queue<std::uint64_t, help_all, scan_max_phase, leaky_domain, wf_options,
+             segment_storage<std::uint64_t, 256>>;
 
 struct program {
   std::uint32_t tid;
   std::vector<op_spec> ops;  // executed in order
 };
 
-/// Runs one random schedule; returns the verified check result.
+/// Runs one random schedule on queue type Q; returns the check result.
+template <typename Q = sm_queue>
 check_result run_random(std::uint64_t seed, std::uint32_t logical_threads,
                         std::uint32_t ops_per_thread, std::uint32_t enq_bias,
                         std::vector<op_event>* history_out = nullptr) {
@@ -53,8 +70,8 @@ check_result run_random(std::uint64_t seed, std::uint32_t logical_threads,
     progs.push_back(std::move(p));
   }
 
-  sm_queue q(logical_threads);
-  std::vector<std::unique_ptr<machine>> current(logical_threads);
+  Q q(logical_threads);
+  std::vector<std::unique_ptr<basic_machine<Q>>> current(logical_threads);
   std::vector<std::size_t> next_op(logical_threads, 0);
   std::vector<op_event> h;
   std::uint64_t clock = 1;
@@ -80,7 +97,7 @@ check_result run_random(std::uint64_t seed, std::uint32_t logical_threads,
     const auto t = static_cast<std::uint32_t>(rng.next() % logical_threads);
     if (current[t] == nullptr) {
       if (next_op[t] >= progs[t].ops.size()) continue;  // thread finished
-      current[t] = build_machine(progs[t].ops[next_op[t]]);
+      current[t] = build_machine_for<Q>(progs[t].ops[next_op[t]]);
       current[t]->inv = clock++;
     }
     if (current[t]->step(q)) {
@@ -90,7 +107,7 @@ check_result run_random(std::uint64_t seed, std::uint32_t logical_threads,
         h.push_back(
             {op_kind::enq, true, t, s.value, current[t]->inv, current[t]->res});
       } else {
-        auto* dm = static_cast<deq_machine*>(current[t].get());
+        auto* dm = static_cast<basic_deq_machine<Q>*>(current[t].get());
         h.push_back({op_kind::deq, dm->result.has_value(), t,
                      dm->result.value_or(0), current[t]->inv,
                      current[t]->res});
@@ -144,6 +161,41 @@ TEST(RandomScheduleFuzz, SmallRunsCrossCheckedExactly) {
     auto r = run_random(seed, 3, 2, /*enq_bias=*/50, &h);
     ASSERT_TRUE(r.ok) << "seed " << seed << ":\n" << r.to_string();
     ASSERT_LE(h.size(), 20u);
+    ASSERT_TRUE(lin_checker::is_linearizable(h))
+        << "exact checker rejected seed " << seed;
+  }
+}
+
+// ------------------------------- segment-storage variants (same machines)
+
+TEST(RandomScheduleFuzzSegment, ManySeedsMediumPrograms) {
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    auto r = run_random<seg_queue>(seed, 4, 6, /*enq_bias=*/60);
+    ASSERT_TRUE(r.ok) << "seed " << seed << ":\n" << r.to_string();
+  }
+}
+
+TEST(RandomScheduleFuzzSegment, SmallSegmentsCrossManySeals) {
+  // 256-byte segments hold only a handful of cells, so six ops per thread
+  // already seal and retire several segments per schedule.
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    auto r = run_random<seg_queue_small>(seed, 4, 6, /*enq_bias=*/60);
+    ASSERT_TRUE(r.ok) << "seed " << seed << ":\n" << r.to_string();
+  }
+}
+
+TEST(RandomScheduleFuzzSegment, DequeueHeavyHitsEmptyPaths) {
+  for (std::uint64_t seed = 1; seed <= 600; ++seed) {
+    auto r = run_random<seg_queue_small>(seed, 3, 8, /*enq_bias=*/30);
+    ASSERT_TRUE(r.ok) << "seed " << seed << ":\n" << r.to_string();
+  }
+}
+
+TEST(RandomScheduleFuzzSegment, SmallRunsCrossCheckedExactly) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    std::vector<op_event> h;
+    auto r = run_random<seg_queue_small>(seed, 3, 2, /*enq_bias=*/50, &h);
+    ASSERT_TRUE(r.ok) << "seed " << seed << ":\n" << r.to_string();
     ASSERT_TRUE(lin_checker::is_linearizable(h))
         << "exact checker rejected seed " << seed;
   }

@@ -12,6 +12,16 @@
 // granularity can only hide bugs, never invent them), so any violation
 // found here is a real algorithm bug.
 //
+// The machines are templates over the queue type so the same driver checks
+// every storage/reclaimer variant (notably segment_storage, see
+// core_random_schedule_test). Machines hold raw node pointers ACROSS steps
+// without a hazard guard, so the queue's reclaimer must not free memory
+// mid-run: hp_domain qualifies in practice (its scan threshold exceeds any
+// test's retirement count), and segment variants must use leaky_domain —
+// segment retirement scans eagerly and would otherwise recycle a segment a
+// machine still points into. (The real-thread stress tests cover eager
+// segment reclamation; here the subject is the interleaving space.)
+//
 // Requires tests/support/whitebox.hpp in the same translation unit.
 #pragma once
 
@@ -29,39 +39,45 @@ using sm_node = sm_queue::node_type;
 using sm_desc = sm_queue::desc_type;
 
 /// One logical operation advanced one primitive action per step() call.
-class machine {
+template <typename Q>
+class basic_machine {
  public:
-  virtual ~machine() = default;
-  virtual bool step(sm_queue& q) = 0;  // true once the operation completed
+  virtual ~basic_machine() = default;
+  virtual bool step(Q& q) = 0;  // true once the operation completed
   bool done = false;
   std::uint64_t inv = 0, res = 0;  // step indexes for history checking
 };
 
-class enq_machine : public machine {
+template <typename Q>
+class basic_enq_machine : public basic_machine<Q> {
+  using node_t = typename Q::node_type;
+  using desc_t = typename Q::desc_type;
+
  public:
-  enq_machine(std::uint32_t tid, std::uint64_t value)
+  basic_enq_machine(std::uint32_t tid, std::uint64_t value)
       : tid_(tid), value_(value) {}
 
-  bool step(sm_queue& q) override {
+  bool step(Q& q) override {
     using wb = whitebox;
     switch (pc_) {
       case 0: {  // publish (paper lines 62-63)
         const std::int64_t phase = wb::max_phase(q, tid_) + 1;
-        sm_node* n = wb::make_node(q, value_, static_cast<std::int32_t>(tid_));
+        node_t* n =
+            wb::make_node(q, value_, static_cast<std::int32_t>(tid_), tid_);
         wb::publish(q, tid_, phase, true, true, n);
         pc_ = 1;
         return false;
       }
       case 1: {  // one iteration of the link loop (lines 68-82)
-        sm_desc* d = wb::state(q, tid_);
+        desc_t* d = wb::state(q, tid_);
         if (!d->pending) {
           pc_ = 2;
           return false;
         }
-        sm_node* last = wb::tail(q);
-        sm_node* next = last->next.load();
+        node_t* last = wb::tail(q);
+        node_t* next = last->next.load();
         if (next == nullptr) {
-          sm_node* expected = nullptr;
+          node_t* expected = nullptr;
           last->next.compare_exchange_strong(expected, d->node);  // line 74
         } else {
           wb::help_finish_enq(q, tid_);  // line 80
@@ -86,13 +102,17 @@ class enq_machine : public machine {
   int pc_ = 0;
 };
 
-class deq_machine : public machine {
+template <typename Q>
+class basic_deq_machine : public basic_machine<Q> {
+  using node_t = typename Q::node_type;
+  using desc_t = typename Q::desc_type;
+
  public:
-  explicit deq_machine(std::uint32_t tid) : tid_(tid) {}
+  explicit basic_deq_machine(std::uint32_t tid) : tid_(tid) {}
 
   std::optional<std::uint64_t> result;
 
-  bool step(sm_queue& q) override {
+  bool step(Q& q) override {
     using wb = whitebox;
     switch (pc_) {
       case 0: {  // publish (lines 99-100)
@@ -102,19 +122,19 @@ class deq_machine : public machine {
         return false;
       }
       case 1: {  // one iteration of the help_deq loop (lines 110-138)
-        sm_desc* d = wb::state(q, tid_);
+        desc_t* d = wb::state(q, tid_);
         if (!d->pending) {
           pc_ = 3;
           return false;
         }
-        sm_node* first = wb::head(q);
-        sm_node* last = wb::tail(q);
-        sm_node* next = first->next.load();
+        node_t* first = wb::head(q);
+        node_t* last = wb::tail(q);
+        node_t* next = first->next.load();
         if (first != wb::head(q)) return false;
         if (first == last) {
           if (next == nullptr) {  // empty (lines 116-121)
-            sm_desc* fresh = wb::make_desc(q, tid_, d->phase, false, false,
-                                           static_cast<sm_node*>(nullptr));
+            desc_t* fresh = wb::make_desc(q, tid_, d->phase, false, false,
+                                          static_cast<node_t*>(nullptr));
             wb::swap_state(q, tid_, tid_, d, fresh);
           } else {
             wb::help_finish_enq(q, tid_);  // line 123
@@ -122,7 +142,7 @@ class deq_machine : public machine {
           return false;
         }
         if (d->node != first) {  // stage 0 (lines 129-133)
-          sm_desc* fresh = wb::make_desc(q, tid_, d->phase, true, false, first);
+          desc_t* fresh = wb::make_desc(q, tid_, d->phase, true, false, first);
           if (!wb::swap_state(q, tid_, tid_, d, fresh)) return false;
         }
         claimed_ = first;
@@ -143,7 +163,7 @@ class deq_machine : public machine {
       }
       case 3: {  // read the outcome (lines 102-107)
         wb::help_finish_deq(q, tid_);
-        sm_desc* d = wb::state(q, tid_);
+        desc_t* d = wb::state(q, tid_);
         if (d->node != nullptr) result = d->value;
         return true;
       }
@@ -153,9 +173,14 @@ class deq_machine : public machine {
 
  private:
   std::uint32_t tid_;
-  sm_node* claimed_ = nullptr;
+  node_t* claimed_ = nullptr;
   int pc_ = 0;
 };
+
+// Concrete types for the default queue, so existing tests keep their names.
+using machine = basic_machine<sm_queue>;
+using enq_machine = basic_enq_machine<sm_queue>;
+using deq_machine = basic_deq_machine<sm_queue>;
 
 struct op_spec {
   bool is_enq;
@@ -163,9 +188,14 @@ struct op_spec {
   std::uint64_t value;  // enq only
 };
 
+template <typename Q>
+std::unique_ptr<basic_machine<Q>> build_machine_for(const op_spec& s) {
+  if (s.is_enq) return std::make_unique<basic_enq_machine<Q>>(s.tid, s.value);
+  return std::make_unique<basic_deq_machine<Q>>(s.tid);
+}
+
 inline std::unique_ptr<machine> build_machine(const op_spec& s) {
-  if (s.is_enq) return std::make_unique<enq_machine>(s.tid, s.value);
-  return std::make_unique<deq_machine>(s.tid);
+  return build_machine_for<sm_queue>(s);
 }
 
 }  // namespace kpq::testing

@@ -28,8 +28,9 @@ struct whitebox {
   }
   template <typename Q>
   static typename Q::node_type* make_node(Q& q, std::uint64_t v,
-                                          std::int32_t etid) {
-    return q.alloc_node(v, etid);
+                                          std::int32_t etid,
+                                          std::uint32_t alloc_tid = 0) {
+    return q.alloc_node(alloc_tid, v, etid);
   }
   template <typename Q>
   static std::int64_t max_phase(Q& q, std::uint32_t tid) {
