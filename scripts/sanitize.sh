@@ -12,6 +12,9 @@
 #   scripts/sanitize.sh tsan-storage             # TSan, storage-layer suites
 #                                                # (segment retirement + the
 #                                                # bounded queue's policies)
+#   scripts/sanitize.sh tsan-scale-adaptive      # TSan + KPQ_TRACE=ON over
+#                                                # the elastic-sharding and
+#                                                # tuner suites
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,17 +29,31 @@ ctest_args=("$@")
 
 for mode in "${modes[@]}"; do
   filter=()
+  extra_cmake=()
+  dir_tag="$mode"
   if [[ "$mode" == "tsan-storage" ]]; then
     # Shortcut: TSan over every suite that exercises src/storage/ — the
     # segment-storage unit/stress tests, the bounded-policy tests, the
     # segment variants of the random-schedule linearizability cross-check,
     # and the reclaimers' retire_range path.
     mode=thread
+    dir_tag=thread
     filter=(-R 'Storage|Bounded|Segment|RetireRange|MemAccounting|Reclaim')
+  elif [[ "$mode" == "tsan-scale-adaptive" ]]; then
+    # Shortcut: TSan over the elastic-sharding layer — scan-table publishes,
+    # the tuner's control loop against live workers, the runtime patience
+    # knob, and the table-routed sharded suites. Built with KPQ_TRACE=ON so
+    # the tuner's trace writes race-check against the workers' ring writes
+    # (its own build dir: the tracing default changes codegen everywhere).
+    mode=thread
+    dir_tag=scale-adaptive
+    extra_cmake=(-DKPQ_TRACE=ON)
+    filter=(-R 'Adaptive|Elastic|Tuner|ScanTable|Sharded|Bulk|HelpChunk')
   fi
-  echo "=== sanitizer: $mode ==="
-  cmake -B "build-$mode-san" -G Ninja -DKPQ_SANITIZE="$mode"
-  cmake --build "build-$mode-san"
-  ctest --test-dir "build-$mode-san" --output-on-failure \
+  echo "=== sanitizer: $mode (build-$dir_tag-san) ==="
+  cmake -B "build-$dir_tag-san" -G Ninja -DKPQ_SANITIZE="$mode" \
+    ${extra_cmake[@]+"${extra_cmake[@]}"}
+  cmake --build "build-$dir_tag-san"
+  ctest --test-dir "build-$dir_tag-san" --output-on-failure \
     ${filter[@]+"${filter[@]}"} ${ctest_args[@]+"${ctest_args[@]}"}
 done

@@ -167,6 +167,7 @@ class wf_queue : public mem_tracked {
   using desc_type = op_desc<T>;
   using reclaimer_type = Reclaimer;
   using storage_type = Storage;
+  using help_policy_type = HelpPolicy;
   /// The recorder policy, re-exported so the help policies (templated on
   /// the queue, not the options) can hit the same sink.
   using trace_type = typename Options::trace;
@@ -377,6 +378,13 @@ class wf_queue : public mem_tracked {
   // ----------------------------------------------------------- observability
 
   std::uint32_t max_threads() const noexcept { return n_; }
+
+  /// The helping-policy instance, exposed so runtime-adaptive policies
+  /// (help_chunk_rt) can be tuned in place: a controller calls
+  /// `q.help_policy().set_chunk(k)` between sampling ticks. For the static
+  /// policies this is a harmless read-only handle.
+  HelpPolicy& help_policy() noexcept { return help_; }
+  const HelpPolicy& help_policy() const noexcept { return help_; }
 
   /// True if the queue looked empty at some point during the call.
   bool empty_hint(std::uint32_t tid) {

@@ -52,16 +52,56 @@ struct whitebox;  // test-only white-box driver (defined in test targets)
 }  // namespace testing
 
 /// Hooks for the fast-path/slow-path queue (progress tests stall threads at
-/// the slow-path announce point, exactly as for wf_queue).
+/// the slow-path announce point, exactly as for wf_queue). A hooks struct
+/// may additionally provide `on_fast_attempt(tid, is_enq)` — called once
+/// per fast-path attempt; the step-bound tests count these to prove the
+/// runtime patience knob can never exceed its compile-time ceiling.
 struct fps_no_hooks {
   static void after_slow_publish(std::uint32_t /*tid*/, bool /*is_enq*/) {}
+  static void on_fast_attempt(std::uint32_t /*tid*/, bool /*is_enq*/) {}
 };
 
 struct fps_options {
   using hooks = fps_no_hooks;
-  /// Fast-path attempts before announcing on the slow path.
+  /// Fast-path attempts before announcing on the slow path — the paper's
+  /// MAX_FAILURES patience. This is the *initial* value of a runtime knob
+  /// (set_patience); the knob is clamped to [0, max_tries_ceiling], so the
+  /// per-operation step bound stays a compile-time constant whatever a
+  /// tuner asks for.
   static constexpr std::uint32_t max_tries = 8;
+  /// Hard ceiling on runtime patience. Every operation reads the knob once
+  /// and clamps against this, so steps-before-announce <= ceiling always.
+  static constexpr std::uint32_t max_tries_ceiling = 64;
   static constexpr bool descriptor_cache = true;
+};
+
+/// Owner-thread-updated fast/slow path counters (one non-RMW relaxed store
+/// per operation; padded per thread). The slow-path share is the tuner's
+/// contention signal for the patience knob: a rising share means fast-path
+/// CAS attempts are being burned by contention and announcing earlier (or
+/// retrying longer) is worth reconsidering.
+struct fps_path_stats {
+  std::uint64_t fast_enqs = 0;
+  std::uint64_t slow_enqs = 0;
+  std::uint64_t fast_deqs = 0;
+  std::uint64_t slow_deqs = 0;
+
+  std::uint64_t ops() const noexcept {
+    return fast_enqs + slow_enqs + fast_deqs + slow_deqs;
+  }
+  double slow_rate() const noexcept {
+    const std::uint64_t n = ops();
+    return n == 0 ? 0.0
+                  : static_cast<double>(slow_enqs + slow_deqs) /
+                        static_cast<double>(n);
+  }
+  fps_path_stats& operator+=(const fps_path_stats& o) noexcept {
+    fast_enqs += o.fast_enqs;
+    slow_enqs += o.slow_enqs;
+    fast_deqs += o.fast_deqs;
+    slow_deqs += o.slow_deqs;
+    return *this;
+  }
 };
 
 template <typename T, typename Reclaimer = hp_domain,
@@ -70,6 +110,8 @@ template <typename T, typename Reclaimer = hp_domain,
 class wf_queue_fps : public mem_tracked {
   static_assert(std::is_default_constructible_v<T>);
   static_assert(std::is_copy_constructible_v<T>);
+  static_assert(Options::max_tries <= Options::max_tries_ceiling,
+                "initial patience must respect the compile-time ceiling");
   static_assert(node_storage_for<Storage, Reclaimer>,
                 "Storage must satisfy the node-storage contract "
                 "(storage/storage_concepts.hpp)");
@@ -103,6 +145,7 @@ class wf_queue_fps : public mem_tracked {
         reclaim_(max_threads, hp_slots),
         pool_(max_threads, Options::descriptor_cache, this),
         cursor_(max_threads),
+        path_stats_(max_threads),
         state_(max_threads) {
     set_memory_counters(mc);
     node_type* sentinel = alloc_node(0, T{}, no_tid);
@@ -143,9 +186,13 @@ class wf_queue_fps : public mem_tracked {
     help_someone(tid, g);  // wait-freedom: one cyclic probe per operation
 
     // Fast path: plain MS enqueue, bounded attempts. enq_tid = -1 marks a
-    // fast node: helpers fix only the tail for it.
+    // fast node: helpers fix only the tail for it. The patience knob is
+    // read ONCE per operation and clamped against the compile-time
+    // ceiling, so a concurrent set_patience can never unbound this loop.
     node_type* node = alloc_node(tid, std::move(value), no_tid);
-    for (std::uint32_t attempt = 0; attempt < Options::max_tries; ++attempt) {
+    const std::uint32_t tries = patience_now();
+    for (std::uint32_t attempt = 0; attempt < tries; ++attempt) {
+      on_fast_attempt(tid, /*is_enq=*/true);
       node_type* last = g.protect(s_last, tail_);
       node_type* next = last->next.load(std::memory_order_seq_cst);
       if (last != tail_.load(std::memory_order_seq_cst)) continue;
@@ -153,6 +200,7 @@ class wf_queue_fps : public mem_tracked {
         node_type* expected = nullptr;
         if (last->next.compare_exchange_strong(expected, node,
                                                std::memory_order_seq_cst)) {
+          count_path(tid, /*slow=*/false, /*is_enq=*/true);
           help_finish_enq(tid, g);
           return;
         }
@@ -162,6 +210,7 @@ class wf_queue_fps : public mem_tracked {
     }
 
     // Slow path: adopt the node (it was never published) and announce.
+    count_path(tid, /*slow=*/true, /*is_enq=*/true);
     node->enq_tid = static_cast<std::int32_t>(tid);
     const std::int64_t phase =
         phase_counter_->fetch_add(1, std::memory_order_acq_rel);
@@ -182,14 +231,20 @@ class wf_queue_fps : public mem_tracked {
 
     // Fast path: claim the sentinel's deqTid with a fast marker; the claim
     // is the linearization for both paths, so fast and slow dequeues
-    // serialize through the same write-once field.
-    for (std::uint32_t attempt = 0; attempt < Options::max_tries; ++attempt) {
+    // serialize through the same write-once field. Patience read once,
+    // clamped to the ceiling (see enqueue).
+    const std::uint32_t tries = patience_now();
+    for (std::uint32_t attempt = 0; attempt < tries; ++attempt) {
+      on_fast_attempt(tid, /*is_enq=*/false);
       node_type* first = g.protect(s_first, head_);
       node_type* last = tail_.load(std::memory_order_seq_cst);
       node_type* next = g.protect(s_next, first->next);
       if (first != head_.load(std::memory_order_seq_cst)) continue;
       if (first == last) {
-        if (next == nullptr) return std::nullopt;  // empty, like MS
+        if (next == nullptr) {
+          count_path(tid, /*slow=*/false, /*is_enq=*/false);
+          return std::nullopt;  // empty, like MS
+        }
         help_finish_enq(tid, g);  // dangling enqueue first
         continue;
       }
@@ -199,6 +254,7 @@ class wf_queue_fps : public mem_tracked {
       if (first->deq_tid.compare_exchange_strong(
               expected, fast_claim_base + static_cast<std::int32_t>(tid),
               std::memory_order_seq_cst)) {
+        count_path(tid, /*slow=*/false, /*is_enq=*/false);
         help_finish_deq(tid, g);  // swing head; winner retires the sentinel
         return value;
       }
@@ -207,6 +263,7 @@ class wf_queue_fps : public mem_tracked {
     }
 
     // Slow path: the base algorithm's dequeue.
+    count_path(tid, /*slow=*/true, /*is_enq=*/false);
     const std::int64_t phase =
         phase_counter_->fetch_add(1, std::memory_order_acq_rel);
     publish(tid, pool_.make(tid, phase, true, false, nullptr));
@@ -218,6 +275,44 @@ class wf_queue_fps : public mem_tracked {
     if (d->node != nullptr) result = d->value;
     g.clear(s_desc);
     return result;
+  }
+
+  // --------------------------------------------------------------- patience
+  // Runtime knob over the paper's MAX_FAILURES, for contention-adaptive
+  // tuning (scale/tuner.hpp). Safe to call concurrently with operations:
+  // relaxed atomic, each op reads it once and clamps to the compile-time
+  // ceiling, so the wait-free step bound is unconditionally
+  // O(max_tries_ceiling + announce-and-help).
+
+  static constexpr std::uint32_t patience_ceiling = Options::max_tries_ceiling;
+
+  /// Set fast-path patience; clamped to [0, patience_ceiling]. 0 means
+  /// every operation announces immediately (pure slow path).
+  void set_patience(std::uint32_t tries) noexcept {
+    patience_.value.store(
+        tries > patience_ceiling ? patience_ceiling : tries,
+        std::memory_order_relaxed);
+  }
+  std::uint32_t patience() const noexcept {
+    return patience_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Per-thread fast/slow split (owner-writes; sum is exact at quiescence,
+  /// a momentary estimate during a run — same contract as every counter
+  /// surface in this repo).
+  fps_path_stats path_counters(std::uint32_t tid) const noexcept {
+    fps_path_stats s;
+    const auto& c = path_stats_[tid];
+    s.fast_enqs = c->fast_enqs.load(std::memory_order_relaxed);
+    s.slow_enqs = c->slow_enqs.load(std::memory_order_relaxed);
+    s.fast_deqs = c->fast_deqs.load(std::memory_order_relaxed);
+    s.slow_deqs = c->slow_deqs.load(std::memory_order_relaxed);
+    return s;
+  }
+  fps_path_stats aggregate_path_counters() const noexcept {
+    fps_path_stats total;
+    for (std::uint32_t t = 0; t < n_; ++t) total += path_counters(t);
+    return total;
   }
 
   // ----------------------------------------------------------- observability
@@ -272,6 +367,34 @@ class wf_queue_fps : public mem_tracked {
   }
   void retire_desc(std::uint32_t tid, desc_type* d) {
     reclaim_.retire(tid, d, &retire_desc_fn, memory_counters());
+  }
+
+  // ------------------------------------------------------ patience plumbing
+
+  /// The per-operation fast-path budget: knob read once, clamped to the
+  /// compile-time ceiling (the clamp is what keeps the step bound a
+  /// constant even while a tuner stores arbitrary values concurrently).
+  std::uint32_t patience_now() const noexcept {
+    const std::uint32_t p = patience_.value.load(std::memory_order_relaxed);
+    return p < patience_ceiling ? p : patience_ceiling;
+  }
+
+  /// Hook dispatch: optional on a hooks struct so pre-existing hook types
+  /// (e.g. the freezing hooks in core tests) keep compiling unchanged.
+  static void on_fast_attempt(std::uint32_t tid, bool is_enq) {
+    if constexpr (requires { Options::hooks::on_fast_attempt(tid, is_enq); }) {
+      Options::hooks::on_fast_attempt(tid, is_enq);
+    }
+  }
+
+  /// Owner-thread, non-RMW path accounting (load + relaxed store).
+  void count_path(std::uint32_t tid, bool slow, bool is_enq) noexcept {
+    auto& c = path_stats_[tid].value;
+    std::atomic<std::uint64_t>& slot = is_enq
+                                           ? (slow ? c.slow_enqs : c.fast_enqs)
+                                           : (slow ? c.slow_deqs : c.fast_deqs);
+    slot.store(slot.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
   }
 
   void publish(std::uint32_t tid, desc_type* d) {
@@ -443,6 +566,19 @@ class wf_queue_fps : public mem_tracked {
   desc_pool<T> pool_;
   std::vector<padded<std::uint32_t>> cursor_;  // help_someone's cyclic cursor
   padded<std::atomic<std::int64_t>> phase_counter_{std::int64_t{0}};
+
+  /// Runtime patience knob (see set_patience); starts at the compile-time
+  /// default so a tuner-less queue behaves exactly like before.
+  padded<std::atomic<std::uint32_t>> patience_{Options::max_tries};
+
+  /// Per-thread owner-written fast/slow path counters.
+  struct path_cells {
+    std::atomic<std::uint64_t> fast_enqs{0};
+    std::atomic<std::uint64_t> slow_enqs{0};
+    std::atomic<std::uint64_t> fast_deqs{0};
+    std::atomic<std::uint64_t> slow_deqs{0};
+  };
+  std::vector<padded<path_cells>> path_stats_;
 
   alignas(destructive_interference) std::atomic<node_type*> head_{nullptr};
   alignas(destructive_interference) std::atomic<node_type*> tail_{nullptr};

@@ -196,6 +196,59 @@ void append_metrics(metrics_snapshot& out, const std::string& prefix,
                static_cast<double>(b.block_waits));
 }
 
+/// The elastic tuner's decision counters + live gauges (scale/tuner.hpp).
+template <typename T>
+concept tuner_stats_like = requires(const T& t) {
+  { t.ticks } -> std::convertible_to<std::uint64_t>;
+  { t.grows } -> std::convertible_to<std::uint64_t>;
+  { t.shrinks } -> std::convertible_to<std::uint64_t>;
+  { t.reorders } -> std::convertible_to<std::uint64_t>;
+  { t.patience_raises } -> std::convertible_to<std::uint64_t>;
+  { t.patience_drops } -> std::convertible_to<std::uint64_t>;
+  { t.active_shards } -> std::convertible_to<std::uint32_t>;
+  { t.patience } -> std::convertible_to<std::uint32_t>;
+  { t.scan_epoch } -> std::convertible_to<std::uint64_t>;
+};
+
+template <tuner_stats_like T>
+void append_metrics(metrics_snapshot& out, const std::string& prefix,
+                    const T& t) {
+  append_value(out, prefix + ".ticks", static_cast<double>(t.ticks));
+  append_value(out, prefix + ".grows", static_cast<double>(t.grows));
+  append_value(out, prefix + ".shrinks", static_cast<double>(t.shrinks));
+  append_value(out, prefix + ".reorders", static_cast<double>(t.reorders));
+  append_value(out, prefix + ".patience_raises",
+               static_cast<double>(t.patience_raises));
+  append_value(out, prefix + ".patience_drops",
+               static_cast<double>(t.patience_drops));
+  append_value(out, prefix + ".active_shards",
+               static_cast<double>(t.active_shards));
+  append_value(out, prefix + ".patience", static_cast<double>(t.patience));
+  append_value(out, prefix + ".scan_epoch",
+               static_cast<double>(t.scan_epoch));
+}
+
+/// wf_queue_fps fast/slow path split (core/wf_queue_fps.hpp) — the tuner's
+/// contention signal, exported so patience decisions can be audited.
+template <typename F>
+concept fps_path_like = requires(const F& f) {
+  { f.fast_enqs } -> std::convertible_to<std::uint64_t>;
+  { f.slow_enqs } -> std::convertible_to<std::uint64_t>;
+  { f.fast_deqs } -> std::convertible_to<std::uint64_t>;
+  { f.slow_deqs } -> std::convertible_to<std::uint64_t>;
+  { f.slow_rate() } -> std::convertible_to<double>;
+};
+
+template <fps_path_like F>
+void append_metrics(metrics_snapshot& out, const std::string& prefix,
+                    const F& f) {
+  append_value(out, prefix + ".fast_enqs", static_cast<double>(f.fast_enqs));
+  append_value(out, prefix + ".slow_enqs", static_cast<double>(f.slow_enqs));
+  append_value(out, prefix + ".fast_deqs", static_cast<double>(f.fast_deqs));
+  append_value(out, prefix + ".slow_deqs", static_cast<double>(f.slow_deqs));
+  append_value(out, prefix + ".slow_rate", f.slow_rate());
+}
+
 /// Bench summaries (harness/stats.hpp): exported with the n==0 guard —
 /// a summary that never saw a sample exports all-zero, not NaN.
 template <typename S>

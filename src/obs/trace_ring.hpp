@@ -85,6 +85,8 @@ enum class trace_kind : std::uint8_t {
   reclaim_scan = 8,  // reclaimer scan pass;  aux = objects freed
   shard_steal = 9,   // dequeue served off-home; aux = serving shard
   shard_empty = 10,  // full shard scan found nothing; aux = home shard
+  tuner_decision = 11,  // elastic tuner acted; phase = new scan epoch,
+                        // aux = decision code (scale/tuner.hpp)
 };
 
 inline constexpr const char* trace_kind_name(trace_kind k) noexcept {
@@ -100,6 +102,7 @@ inline constexpr const char* trace_kind_name(trace_kind k) noexcept {
     case trace_kind::reclaim_scan: return "reclaim_scan";
     case trace_kind::shard_steal: return "shard_steal";
     case trace_kind::shard_empty: return "shard_empty";
+    case trace_kind::tuner_decision: return "tuner_decision";
   }
   return "unknown";
 }

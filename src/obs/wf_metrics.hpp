@@ -48,6 +48,7 @@ struct wf_trace_report {
   std::uint64_t reclaim_scans = 0;
   std::uint64_t steals = 0;
   std::uint64_t shard_empty_scans = 0;
+  std::uint64_t tuner_decisions = 0;  // elastic tuner actions in the trace
   std::uint64_t dropped_events = 0;   // ring overwrites: report is a suffix
   std::int64_t max_phase_seen = 0;
 
@@ -119,6 +120,9 @@ inline wf_trace_report analyze_trace(const std::vector<trace_event>& events,
       case trace_kind::shard_empty:
         ++r.shard_empty_scans;
         break;
+      case trace_kind::tuner_decision:
+        ++r.tuner_decisions;
+        break;
     }
     if (e.phase > r.max_phase_seen) r.max_phase_seen = e.phase;
   }
@@ -143,6 +147,8 @@ inline void append_metrics(metrics_snapshot& out, const std::string& prefix,
   append_value(out, prefix + ".reclaim_scans",
                static_cast<double>(r.reclaim_scans));
   append_value(out, prefix + ".steals", static_cast<double>(r.steals));
+  append_value(out, prefix + ".tuner_decisions",
+               static_cast<double>(r.tuner_decisions));
   append_value(out, prefix + ".dropped_events",
                static_cast<double>(r.dropped_events));
   append_value(out, prefix + ".max_phase",

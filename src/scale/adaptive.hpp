@@ -1,0 +1,192 @@
+// Elastic shard control: the mechanism half of self-tuning sharding.
+//
+// PR 1's sharded_queue split traffic across S independent lanes; PR 5's
+// obs layer measures what each lane is doing (depth, steal rate, empty
+// scans, helping latency). This header supplies the piece that lets a
+// controller (scale/tuner.hpp) ACT on those signals without ever breaking
+// the wait-free step bound:
+//
+//   * scan_table — an immutable, epoch-stamped snapshot of the routing
+//     decision: which shards are ACTIVE (receive enqueues) and in what
+//     ORDER the dequeue scan should visit the pool. The first
+//     `active_count` entries of `order` are the active set, best-first;
+//     the tail lists the deactivated shards so in-flight items there are
+//     still drained.
+//
+//   * elastic_control — the publication protocol. Shards live in a
+//     FIXED-CAPACITY pool that is never reallocated; adaptation only flips
+//     which pool slots the table marks active. Publishing is one
+//     store-release of a pointer to a fresh immutable table; an operation
+//     loads the pointer once (acquire) and uses that snapshot for its whole
+//     scan. No locks, no RCU grace periods, no per-op fences beyond the one
+//     acquire load.
+//
+// Why this preserves wait-freedom (docs/ALGORITHM.md §9 has the full
+// argument):
+//
+//   1. Per-op step bound: an operation's scan visits at most `capacity`
+//      shards — a compile-/construction-time constant — whatever the table
+//      says, and each visit is one inner wait-free op. Table swaps change
+//      WHICH constant-bounded scan runs, never its length.
+//   2. No lost items: deactivation removes a shard from the enqueue set
+//      only; every dequeue scan still visits all `capacity` slots, so a
+//      deactivated shard drains at exactly the rate it is scanned.
+//   3. No torn routing: tables are immutable after publish, so an op that
+//      loaded table T routes and scans consistently under T even if the
+//      tuner publishes T+1 mid-scan. Mixed-table executions interleave two
+//      correct scans — the random-schedule replay in
+//      tests/scale_adaptive_test.cpp exercises exactly these interleavings.
+//
+// Memory: retired tables are retained for the queue's lifetime (history_).
+// A table is O(capacity) bytes and the tuner publishes at most one per
+// low-frequency tick, so retention is a few dozen bytes per tick — the
+// price of keeping readers entirely wait-free instead of dragging hazard
+// pointers into the routing path. A single mutator thread is the contract
+// (same "register at startup / sample at sampling points" discipline as
+// every other control surface in this repo).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "sync/cacheline.hpp"
+
+namespace kpq {
+
+/// Immutable routing snapshot. `order` is a permutation of [0, capacity);
+/// entries [0, active_count) are the shards that accept enqueues, in scan
+/// priority order (the tuner sorts them deepest-first). Entries
+/// [active_count, capacity) are deactivated but still scanned by dequeues.
+struct scan_table {
+  std::uint64_t epoch = 0;
+  std::uint32_t active_count = 0;
+  std::vector<std::uint32_t> order;
+
+  bool is_active(std::uint32_t shard) const noexcept {
+    for (std::uint32_t k = 0; k < active_count; ++k) {
+      if (order[k] == shard) return true;
+    }
+    return false;
+  }
+  std::uint64_t active_mask() const noexcept {
+    std::uint64_t m = 0;
+    for (std::uint32_t k = 0; k < active_count && order[k] < 64; ++k) {
+      m |= std::uint64_t{1} << order[k];
+    }
+    return m;
+  }
+};
+
+/// Publication protocol: one atomic pointer to the current table plus the
+/// retained history. Readers: table() — one acquire load, then treat the
+/// result as immutable. Writer (single tuner thread): publish().
+class elastic_control {
+ public:
+  explicit elastic_control(std::uint32_t capacity) : capacity_(capacity) {
+    assert(capacity >= 1);
+    auto identity = std::make_unique<scan_table>();
+    identity->epoch = 0;
+    identity->active_count = capacity;
+    identity->order.resize(capacity);
+    std::iota(identity->order.begin(), identity->order.end(), 0u);
+    current_.store(identity.get(), std::memory_order_release);
+    history_.push_back(std::move(identity));
+  }
+
+  elastic_control(const elastic_control&) = delete;
+  elastic_control& operator=(const elastic_control&) = delete;
+
+  std::uint32_t capacity() const noexcept { return capacity_; }
+
+  /// The snapshot an operation routes and scans under. One acquire load;
+  /// hold the pointer for the duration of the op only (it stays valid for
+  /// the queue's lifetime, but a fresh op should see a fresh table).
+  const scan_table* table() const noexcept {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Single-mutator: install a new active set / scan order. `order` must be
+  /// a permutation of [0, capacity); `active_count` in [1, capacity].
+  /// Returns the new epoch.
+  std::uint64_t publish(std::uint32_t active_count,
+                        std::vector<std::uint32_t> order) {
+    assert(active_count >= 1 && active_count <= capacity_);
+    assert(order.size() == capacity_);
+#ifndef NDEBUG
+    {
+      std::vector<bool> seen(capacity_, false);
+      for (std::uint32_t s : order) {
+        assert(s < capacity_ && !seen[s] && "order must be a permutation");
+        seen[s] = true;
+      }
+    }
+#endif
+    auto next = std::make_unique<scan_table>();
+    next->epoch = table()->epoch + 1;
+    next->active_count = active_count;
+    next->order = std::move(order);
+    const std::uint64_t epoch = next->epoch;
+    current_.store(next.get(), std::memory_order_release);
+    history_.push_back(std::move(next));
+    return epoch;
+  }
+
+  /// Convenience single-mutator edits over the current table.
+  std::uint64_t set_active_count(std::uint32_t active_count) {
+    return publish(active_count, table()->order);
+  }
+
+  std::size_t tables_published() const noexcept { return history_.size(); }
+
+ private:
+  const std::uint32_t capacity_;
+  alignas(destructive_interference) std::atomic<const scan_table*> current_{
+      nullptr};
+  std::vector<std::unique_ptr<scan_table>> history_;  // tuner-thread-only
+};
+
+/// Background tick driver for long-running services: calls `fn` every
+/// `period` until stopped. Benches and tests prefer calling tick() inline
+/// at deterministic points; this is the convenience wrapper for everything
+/// else. Destruction stops and joins.
+class periodic_ticker {
+ public:
+  periodic_ticker(std::chrono::milliseconds period, std::function<void()> fn)
+      : fn_(std::move(fn)), period_(period), thread_([this] { loop(); }) {}
+
+  ~periodic_ticker() { stop(); }
+
+  void stop() {
+    if (!stopped_.exchange(true, std::memory_order_acq_rel)) {
+      thread_.join();
+    }
+  }
+
+ private:
+  void loop() {
+    // Sleep in small slices so stop() is responsive without a condvar.
+    const auto slice = std::chrono::milliseconds(1);
+    auto next = std::chrono::steady_clock::now() + period_;
+    while (!stopped_.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() >= next) {
+        fn_();
+        next = std::chrono::steady_clock::now() + period_;
+      }
+      std::this_thread::sleep_for(slice);
+    }
+  }
+
+  std::function<void()> fn_;
+  std::chrono::milliseconds period_;
+  std::atomic<bool> stopped_{false};
+  std::thread thread_;
+};
+
+}  // namespace kpq
