@@ -1,0 +1,268 @@
+// Beyond-paper bench: event-loop broker throughput and request latency
+// tails as a function of concurrent coroutine sessions.
+//
+// The workload is examples/coro_broker.cpp reduced to its measurable core:
+// x sessions each submit one echo request into key_hash-sharded wait-free
+// queues and suspend; a few worker coroutines co_select every shard, echo,
+// and resume the sessions — all on ONE event-loop thread. Measured per
+// repetition (queue + loop reconstructed each time, bench_common
+// methodology):
+//
+//   * "broker drain"        — wall seconds from first spawn to a drained
+//                             loop (primary metric mean_s; throughput in
+//                             req/s is derived and printed in the table).
+//   * "broker p99 latency"  — log2-bucketed submit->response latency upper
+//                             bound in ns, merged across reps ("mean" key
+//                             so the comparator treats lower as better).
+//   * "broker p50 latency"  — same, median.
+//
+// The suspension machinery (waiter_hub enlist/park, coro_resumer claims,
+// token re-gifting in co_select) is all ON the measured path: this is the
+// number docs/ASYNC.md quotes for front-end overhead per request.
+//
+// Flags: --sessions N (sweep max, default 10000; sweep = N/8,N/4,N/2,N),
+//        --shards N (default 2), --workers N (default 2), --reps N
+//        (default 3), --csv, --json PATH (schema kpq-bench-1,
+//        x_label "sessions").
+#include <coroutine>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "async/async_queue.hpp"
+#include "async/event_loop.hpp"
+#include "async/task.hpp"
+#include "core/wf_queue.hpp"
+#include "harness/cli.hpp"
+#include "harness/histogram.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+#include "harness/timing.hpp"
+#include "obs/export.hpp"
+#include "scale/async_shards.hpp"
+#include "scale/shard_policy.hpp"
+
+namespace {
+
+using namespace kpq;
+
+struct request {
+  std::uint64_t session = 0;
+  std::uint64_t payload = 0;
+  std::uint64_t response = 0;
+  std::uint64_t submit_ns = 0;
+  bool done = false;
+  std::coroutine_handle<> h{};
+};
+
+struct session_key {
+  std::uint64_t operator()(const request* r) const noexcept {
+    return r->session;
+  }
+};
+
+using broker_shards =
+    async::async_sharded<wf_queue_opt<request*>, key_hash_shards<session_key>>;
+
+struct echo_awaiter {
+  request* r;
+  bool await_ready() const noexcept { return r->done; }
+  void await_suspend(std::coroutine_handle<> h) noexcept { r->h = h; }
+  std::uint64_t await_resume() const noexcept { return r->response; }
+};
+
+struct rep_state {
+  broker_shards* shards = nullptr;
+  std::uint64_t sessions = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  log2_histogram* latency = nullptr;
+};
+
+async::task<void> session(rep_state& st, request& r) {
+  r.submit_ns = now_ns();
+  (void)co_await st.shards->co_enqueue(&r);
+  const std::uint64_t echoed = co_await echo_awaiter{&r};
+  st.latency->add(now_ns() - r.submit_ns);
+  if (echoed != (r.payload ^ 0x5a5aULL)) ++st.errors;
+  if (++st.completed == st.sessions) st.shards->close_all();
+}
+
+async::task<void> worker(async::event_loop& loop, rep_state& st) {
+  for (std::uint64_t drained = 0;; ++drained) {
+    auto got = co_await st.shards->co_dequeue_any();
+    if (!got.value) co_return;
+    request* r = *got.value;
+    r->response = r->payload ^ 0x5a5aULL;
+    r->done = true;
+    loop.post(r->h);
+    // Cooperative chunking (docs/ASYNC.md §3): unwind the symmetric-
+    // transfer resume chain before it grows with the backlog.
+    if ((drained & 0xff) == 0xff) co_await loop.yield();
+  }
+}
+
+/// One full broker run; returns wall seconds, accumulates latencies.
+double run_once(std::uint64_t sessions, std::uint32_t shard_count,
+                std::uint32_t workers, log2_histogram& latency,
+                std::uint64_t& errors) {
+  async::event_loop loop;
+  broker_shards shards(shard_count, /*max_threads=*/4);
+  shards.set_executor(&loop);
+  rep_state st;
+  st.shards = &shards;
+  st.sessions = sessions;
+  st.latency = &latency;
+  std::vector<request> requests(sessions);
+
+  const std::uint64_t t0 = now_ns();
+  for (std::uint64_t i = 0; i < sessions; ++i) {
+    requests[i].session = i;
+    requests[i].payload = i * 2654435761ULL + 17;
+    loop.spawn(session(st, requests[i]));
+  }
+  for (std::uint32_t w = 0; w < workers; ++w) loop.spawn(worker(loop, st));
+  loop.run();
+  const double secs = static_cast<double>(now_ns() - t0) * 1e-9;
+
+  if (st.completed != sessions) ++errors;
+  errors += st.errors;
+  return secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli args(argc, argv);
+  if (args.get_flag("help")) {
+    std::printf(
+        "flags: --sessions N   sweep max (default 10000; x = N/8,N/4,N/2,N)\n"
+        "       --shards N     queue shards (default 2)\n"
+        "       --workers N    worker coroutines (default 2)\n"
+        "       --reps N       repetitions per point (default 3)\n"
+        "       --csv          also print a CSV block\n"
+        "       --json PATH    machine-readable series (kpq-bench-1)\n");
+    return 0;
+  }
+  const std::uint64_t max_sessions = args.get_u64("sessions", 10000);
+  const std::uint32_t shard_count =
+      static_cast<std::uint32_t>(args.get_u64("shards", 2));
+  const std::uint32_t workers =
+      static_cast<std::uint32_t>(args.get_u64("workers", 2));
+  const std::uint32_t reps =
+      static_cast<std::uint32_t>(args.get_u64("reps", 3));
+  const bool csv = args.get_flag("csv");
+  const std::string json_path = args.get_str("json", "");
+
+  std::vector<std::uint64_t> sweep;
+  for (std::uint64_t d = 8; d >= 1; d /= 2) {
+    const std::uint64_t x = max_sessions / d;
+    if (x > 0 && (sweep.empty() || sweep.back() != x)) sweep.push_back(x);
+  }
+
+  struct row {
+    std::uint64_t sessions;
+    summary drain;
+    std::uint64_t p50_ns, p99_ns;
+  };
+  std::vector<row> rows;
+  std::uint64_t errors = 0;
+
+  for (std::uint64_t sessions : sweep) {
+    running_stats drain;
+    log2_histogram latency;
+    for (std::uint32_t r = 0; r < reps; ++r) {
+      drain.add(run_once(sessions, shard_count, workers, latency, errors));
+    }
+    rows.push_back({sessions, drain.finish(),
+                    latency.quantile_upper_bound(0.50),
+                    latency.quantile_upper_bound(0.99)});
+  }
+
+  std::printf("== Broker: echo round trips over %u shard(s), %u worker "
+              "coroutine(s), 1 loop thread ==\n",
+              shard_count, workers);
+  std::printf("(mean of %u reps; latency = submit->response, log2 buckets)\n",
+              reps);
+  table t({"sessions", "drain [s]", "sd", "req/s", "p50 [us]", "p99 [us]"});
+  for (const row& r : rows) {
+    t.add_row({std::to_string(r.sessions), fmt(r.drain.mean, 4),
+               fmt(r.drain.stddev, 4),
+               fmt(static_cast<double>(r.sessions) / r.drain.mean, 0),
+               fmt(static_cast<double>(r.p50_ns) * 1e-3, 1),
+               fmt(static_cast<double>(r.p99_ns) * 1e-3, 1)});
+  }
+  t.print();
+  if (csv) {
+    std::printf("\n-- csv --\n");
+    t.print_csv(stdout);
+  }
+  if (errors != 0) {
+    std::fprintf(stderr, "broker self-check failed: %llu error(s)\n",
+                 static_cast<unsigned long long>(errors));
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    obs::json_writer w;
+    w.begin_object();
+    w.key("schema").value("kpq-bench-1");
+    w.key("bench").value(
+        "Broker: coroutine echo round trips, throughput and latency tails");
+    w.key("params").begin_object();
+    w.key("sessions").value(max_sessions);
+    w.key("shards").value(static_cast<std::uint64_t>(shard_count));
+    w.key("workers").value(static_cast<std::uint64_t>(workers));
+    w.key("reps").value(static_cast<std::uint64_t>(reps));
+    w.end_object();
+    w.key("x_label").value("sessions");
+    w.key("series").begin_array();
+    w.begin_object();
+    w.key("name").value("broker drain");
+    w.key("points").begin_array();
+    for (const row& r : rows) {
+      w.begin_object();
+      w.key("x").value(r.sessions);
+      w.key("n").value(static_cast<std::uint64_t>(r.drain.n));
+      w.key("mean_s").value(obs::finite_or(r.drain.mean));
+      w.key("stddev_s").value(obs::finite_or(r.drain.stddev));
+      w.key("min_s").value(obs::finite_or(r.drain.min));
+      w.key("max_s").value(obs::finite_or(r.drain.max));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    const struct {
+      const char* name;
+      std::uint64_t row::*field;
+    } lat_series[] = {{"broker p50 latency", &row::p50_ns},
+                      {"broker p99 latency", &row::p99_ns}};
+    for (const auto& s : lat_series) {
+      w.begin_object();
+      w.key("name").value(s.name);
+      w.key("points").begin_array();
+      for (const row& r : rows) {
+        w.begin_object();
+        w.key("x").value(r.sessions);
+        w.key("mean").value(static_cast<double>(r.*(s.field)));
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(w.str().c_str(), f);
+      std::fputs("\n", f);
+      std::fclose(f);
+      std::printf("[json written to %s]\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not open --json path %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -15,6 +15,9 @@
 #   scripts/sanitize.sh tsan-scale-adaptive      # TSan + KPQ_TRACE=ON over
 #                                                # the elastic-sharding and
 #                                                # tuner suites
+#   scripts/sanitize.sh tsan-async               # TSan + KPQ_TRACE=ON over
+#                                                # the continuation layer and
+#                                                # the coroutine front-end
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,6 +52,18 @@ for mode in "${modes[@]}"; do
     dir_tag=scale-adaptive
     extra_cmake=(-DKPQ_TRACE=ON)
     filter=(-R 'Adaptive|Elastic|Tuner|ScanTable|Sharded|Bulk|HelpChunk')
+  elif [[ "$mode" == "tsan-async" ]]; then
+    # Shortcut: TSan over the waiter_hub continuation layer and everything
+    # rebuilt on it — thread parkers (blocking_adapter, the bounded queue's
+    # block policy and its lost-wakeup regressions) and coroutine resumers
+    # (event loop, awaitables, select, cancellation, the broker example).
+    # Built with KPQ_TRACE=ON so the waiter_park/waiter_resume trace writes
+    # race-check against the hub's notify path (own build dir: the tracing
+    # default changes codegen everywhere).
+    mode=thread
+    dir_tag=async
+    extra_cmake=(-DKPQ_TRACE=ON)
+    filter=(-R 'Async|Waiter|Parker|EventLoop|TimerWheel|Task\.|BoundedWakeup|Blocking|coro_broker')
   fi
   echo "=== sanitizer: $mode (build-$dir_tag-san) ==="
   cmake -B "build-$dir_tag-san" -G Ninja -DKPQ_SANITIZE="$mode" \

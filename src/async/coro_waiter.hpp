@@ -1,0 +1,107 @@
+// coro_resumer: the coroutine-shaped continuation for waiter_hub.
+//
+// Where thread_parker stores a sleeping thread, coro_resumer stores a
+// suspended std::coroutine_handle<>. On an accepted notify the handle is
+// either resumed inline on the notifier's thread or posted to an event_loop
+// executor (set via arm()) — the resumption-context rule in docs/ASYNC.md:
+// code after a co_await may run on a different thread than before it, so
+// dense thread ids must be re-read via this_thread_id() after every
+// suspension point.
+//
+// Claim protocol: a parked coroutine can be woken by (a) a hub notify,
+// (b) a timer recheck, (c) a stop_token cancellation, or torn down by
+// (d) frame destruction. Exactly one may act. All transitions of `state_`
+// happen under the hub lock — try_accept() is called by the hub with the
+// lock held, and claim_cancel()/claim_silent() take it — so the race is
+// arbitrated by a plain compare under the mutex, and a loser never touches
+// the continuation again.
+#pragma once
+
+#if !defined(__cpp_impl_coroutine)
+#error "kpq/async requires C++20 coroutines (gate targets on KPQ_HAS_COROUTINES)"
+#endif
+
+#include <coroutine>
+#include <cstdint>
+
+#include "async/event_loop.hpp"
+#include "harness/timing.hpp"
+#include "sync/waiter_hub.hpp"
+
+namespace kpq::async {
+
+class coro_resumer final : public waiter_hub::waiter {
+ public:
+  enum class phase : std::uint8_t { idle, armed, fired };
+
+  coro_resumer() noexcept : waiter(waiter_hub::waiter_kind::coroutine) {}
+
+  /// Store the continuation. Call under the hub lock, before enlist().
+  /// With `exec` null the notifier resumes the coroutine inline; otherwise
+  /// the handle is posted to the executor's ready queue.
+  void arm(std::coroutine_handle<> h, event_loop* exec) noexcept {
+    h_ = h;
+    exec_ = exec;
+    state_ = phase::armed;
+  }
+
+  /// Un-claimed and still parked? Callers must hold the hub lock.
+  bool armed() const noexcept { return state_ == phase::armed; }
+
+  /// Revert an arm that never parked (the awaiter's re-check succeeded).
+  /// Call under the hub lock.
+  void disarm() noexcept { state_ = phase::idle; }
+
+  /// Cancellation/timer path: claim the continuation and resume it (posted
+  /// to the executor if one was armed). Returns false when a notify or an
+  /// earlier cancel already owns it — the loser does nothing.
+  bool claim_cancel(waiter_hub& hub) noexcept {
+    {
+      auto lk = hub.lock();
+      if (state_ != phase::armed) return false;
+      state_ = phase::fired;
+      accept_ts_ = now_ns();
+      hub.delist(*this, lk);
+    }
+    dispatch();
+    return true;
+  }
+
+  /// Frame-teardown path (awaiter destructor on destroy-while-suspended):
+  /// claim and delist but resume NOTHING — the frame is going away.
+  bool claim_silent(waiter_hub& hub) noexcept {
+    auto lk = hub.lock();
+    if (state_ != phase::armed) return false;
+    state_ = phase::fired;
+    hub.delist(*this, lk);
+    return true;
+  }
+
+ private:
+  waiter_hub::accept_result try_accept() noexcept override {
+    if (state_ != phase::armed) {
+      return waiter_hub::accept_result::refused;  // cancel won; pass it on
+    }
+    state_ = phase::fired;
+    return waiter_hub::accept_result::needs_resume;
+  }
+
+  // After the notifier released the hub lock. The frame is guaranteed alive:
+  // only the accept winner may resume it, and teardown of a parked frame
+  // requires winning the claim first (claim_silent).
+  void resume() noexcept override { dispatch(); }
+
+  void dispatch() noexcept {
+    if (exec_) {
+      exec_->post(h_);
+    } else {
+      h_.resume();
+    }
+  }
+
+  std::coroutine_handle<> h_{};
+  event_loop* exec_ = nullptr;
+  phase state_ = phase::idle;  // guarded by the hub lock
+};
+
+}  // namespace kpq::async

@@ -4,9 +4,11 @@
 // (the paper's EmptyException). Applications structured around consumer
 // threads usually want "wait until an element arrives or the queue is
 // closed". This adapter layers that on top of any queue type in the library
-// using the standard eventcount-lite pattern: the fast path never touches
-// the mutex; waiters register under the lock and re-check before sleeping,
-// producers only lock when a sleeper might exist.
+// via the shared continuation layer (sync/waiter_hub.hpp): the fast path
+// never touches the hub mutex; waiters enlist under the lock and re-check
+// before sleeping, producers only notify when a sleeper might exist. The
+// same hub accepts coroutine continuations, which is how async/ builds
+// co_dequeue on an identical wakeup discipline.
 //
 // NOTE: waiting obviously forfeits wait-freedom — a blocked consumer is
 // blocked. The *queue operations* keep their progress guarantee; only the
@@ -14,15 +16,13 @@
 // (cf. paper §1: the bound matters for the operation, not for data arrival).
 #pragma once
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "sync/thread_registry.hpp"
+#include "sync/waiter_hub.hpp"
 
 namespace kpq {
 
@@ -38,12 +38,9 @@ class blocking_adapter {
   /// Wait-free (as the underlying queue); wakes one sleeper if any.
   void enqueue(value_type v, std::uint32_t tid) {
     q_.enqueue(std::move(v), tid);
-    // seq_cst pairs with the waiter's increment-then-recheck (Dekker): if
-    // we read 0 here, the waiter's re-check happens after our insert.
-    if (waiters_.load(std::memory_order_seq_cst) > 0) {
-      std::lock_guard<std::mutex> lk(m_);
-      cv_.notify_one();
-    }
+    // seq_cst pairs with the waiter's enlist-then-recheck (Dekker): if we
+    // read no waiters here, the waiter's re-check happens after our insert.
+    if (hub_.maybe_waiters()) hub_.notify_one();
   }
   void enqueue(value_type v) { enqueue(std::move(v), this_thread_id()); }
 
@@ -60,19 +57,20 @@ class blocking_adapter {
   std::optional<value_type> dequeue_blocking(std::uint32_t tid) {
     for (;;) {
       if (auto v = q_.dequeue(tid)) return v;
-      std::unique_lock<std::mutex> lk(m_);
-      waiters_.fetch_add(1, std::memory_order_seq_cst);
+      thread_parker p;
+      p.set_trace_tid(tid);  // hub events go to the same ring as q_'s ops
+      auto lk = hub_.lock();
+      hub_.enlist(p, lk);
       // Re-check under registration: no produce can now slip past unseen.
       if (auto v = q_.dequeue(tid)) {
-        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        hub_.delist(p, lk);
         return v;
       }
       if (closed_) {
-        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        hub_.delist(p, lk);
         return std::nullopt;
       }
-      cv_.wait(lk);
-      waiters_.fetch_sub(1, std::memory_order_seq_cst);
+      p.park(hub_, lk);  // an accepted notify already delisted us
     }
   }
   std::optional<value_type> dequeue_blocking() {
@@ -86,18 +84,18 @@ class blocking_adapter {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     for (;;) {
       if (auto v = q_.dequeue(tid)) return v;
-      std::unique_lock<std::mutex> lk(m_);
-      waiters_.fetch_add(1, std::memory_order_seq_cst);
+      thread_parker p;
+      p.set_trace_tid(tid);  // hub events go to the same ring as q_'s ops
+      auto lk = hub_.lock();
+      hub_.enlist(p, lk);
       if (auto v = q_.dequeue(tid)) {
-        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        hub_.delist(p, lk);
         return v;
       }
-      if (closed_ ||
-          cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
-        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+      if (closed_ || !p.park_until(hub_, lk, deadline)) {
+        hub_.delist(p, lk);
         return q_.dequeue(tid);  // final chance either way
       }
-      waiters_.fetch_sub(1, std::memory_order_seq_cst);
     }
   }
 
@@ -105,23 +103,26 @@ class blocking_adapter {
   /// nullopt; further enqueues are the caller's bug (not checked — the
   /// underlying queue has no closed state).
   void close() {
-    std::lock_guard<std::mutex> lk(m_);
+    auto lk = hub_.lock();
     closed_ = true;
-    cv_.notify_all();
+    hub_.notify_all(std::move(lk));
   }
   bool closed() const {
-    std::lock_guard<std::mutex> lk(m_);
+    auto lk = hub_.lock();
     return closed_;
   }
 
   Queue& underlying() noexcept { return q_; }
 
+  /// The continuation hub (park/resume stats for the obs registry; the
+  /// async layer enlists coroutine waiters on the same hub).
+  waiter_hub& hub() noexcept { return hub_; }
+  const waiter_hub& hub() const noexcept { return hub_; }
+
  private:
   Queue q_;
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  std::atomic<std::uint64_t> waiters_{0};
-  bool closed_ = false;  // guarded by m_
+  waiter_hub hub_;
+  bool closed_ = false;  // guarded by the hub lock
 };
 
 }  // namespace kpq

@@ -196,6 +196,28 @@ void append_metrics(metrics_snapshot& out, const std::string& prefix,
                static_cast<double>(b.block_waits));
 }
 
+/// The continuation layer's park/notify counters (sync/waiter_hub.hpp).
+template <typename W>
+concept waiter_hub_stats_like = requires(const W& w) {
+  { w.parks } -> std::convertible_to<std::uint64_t>;
+  { w.notifies } -> std::convertible_to<std::uint64_t>;
+  { w.resumes } -> std::convertible_to<std::uint64_t>;
+  { w.resume_ns_total } -> std::convertible_to<std::uint64_t>;
+  { w.resume_ns_max } -> std::convertible_to<std::uint64_t>;
+  { w.mean_resume_ns() } -> std::convertible_to<double>;
+};
+
+template <waiter_hub_stats_like W>
+void append_metrics(metrics_snapshot& out, const std::string& prefix,
+                    const W& w) {
+  append_value(out, prefix + ".parks", static_cast<double>(w.parks));
+  append_value(out, prefix + ".notifies", static_cast<double>(w.notifies));
+  append_value(out, prefix + ".resumes", static_cast<double>(w.resumes));
+  append_value(out, prefix + ".resume_ns_mean", w.mean_resume_ns());
+  append_value(out, prefix + ".resume_ns_max",
+               static_cast<double>(w.resume_ns_max));
+}
+
 /// The elastic tuner's decision counters + live gauges (scale/tuner.hpp).
 template <typename T>
 concept tuner_stats_like = requires(const T& t) {

@@ -49,6 +49,8 @@ struct wf_trace_report {
   std::uint64_t steals = 0;
   std::uint64_t shard_empty_scans = 0;
   std::uint64_t tuner_decisions = 0;  // elastic tuner actions in the trace
+  std::uint64_t waiter_parks = 0;     // continuations suspended on a hub
+  std::uint64_t waiter_resumes = 0;   // accepted continuations running again
   std::uint64_t dropped_events = 0;   // ring overwrites: report is a suffix
   std::int64_t max_phase_seen = 0;
 
@@ -123,6 +125,12 @@ inline wf_trace_report analyze_trace(const std::vector<trace_event>& events,
       case trace_kind::tuner_decision:
         ++r.tuner_decisions;
         break;
+      case trace_kind::waiter_park:
+        ++r.waiter_parks;
+        break;
+      case trace_kind::waiter_resume:
+        ++r.waiter_resumes;
+        break;
     }
     if (e.phase > r.max_phase_seen) r.max_phase_seen = e.phase;
   }
@@ -149,6 +157,10 @@ inline void append_metrics(metrics_snapshot& out, const std::string& prefix,
   append_value(out, prefix + ".steals", static_cast<double>(r.steals));
   append_value(out, prefix + ".tuner_decisions",
                static_cast<double>(r.tuner_decisions));
+  append_value(out, prefix + ".waiter_parks",
+               static_cast<double>(r.waiter_parks));
+  append_value(out, prefix + ".waiter_resumes",
+               static_cast<double>(r.waiter_resumes));
   append_value(out, prefix + ".dropped_events",
                static_cast<double>(r.dropped_events));
   append_value(out, prefix + ".max_phase",

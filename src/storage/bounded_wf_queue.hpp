@@ -39,10 +39,8 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -52,6 +50,7 @@
 #include "storage/segment_storage.hpp"
 #include "sync/cacheline.hpp"
 #include "sync/thread_registry.hpp"
+#include "sync/waiter_hub.hpp"
 
 namespace kpq {
 
@@ -171,12 +170,12 @@ class bounded_wf_queue {
   std::optional<T> dequeue(std::uint32_t tid) {
     std::optional<T> v = q_.dequeue(tid);
     if (cfg_.policy == full_policy::block && v.has_value() &&
-        waiters_.load(std::memory_order_seq_cst) > 0) {
+        hub_.maybe_waiters()) {
       // A dequeue frees at least one cell's worth of budget eventually;
-      // wake one producer to re-check. Lock pairs with the waiter's
-      // register-then-recheck, exactly as in blocking_adapter.
-      std::lock_guard<std::mutex> lk(m_);
-      cv_.notify_one();
+      // wake one producer to re-check. The hub's seq_cst waiter count pairs
+      // with the waiter's enlist-then-recheck, exactly as in
+      // blocking_adapter.
+      hub_.notify_one();
     }
     return v;
   }
@@ -187,13 +186,42 @@ class bounded_wf_queue {
   /// Unblocks every waiting producer (they return false). Consumers can
   /// keep draining; further try_enqueues fail under the block policy.
   void close() {
-    std::lock_guard<std::mutex> lk(m_);
-    closed_ = true;
-    cv_.notify_all();
+    auto lk = hub_.lock();  // orders the store against parked producers
+    closed_.store(true, std::memory_order_seq_cst);
+    hub_.notify_all(std::move(lk));
   }
-  bool closed() const {
-    std::lock_guard<std::mutex> lk(m_);
-    return closed_;
+  /// Lock-free on purpose: async::room_step re-checks this while already
+  /// holding the room hub's lock — a locking read would self-deadlock.
+  bool closed() const noexcept {
+    return closed_.load(std::memory_order_seq_cst);
+  }
+
+  // -------------------------------------------------------- async admission
+
+  /// One admission poll, no waiting, no policy dispatch: insert iff there is
+  /// room right now. The async co_enqueue building block — a false return is
+  /// backpressure to suspend on, not an outcome, so nothing is counted as
+  /// rejected here.
+  bool try_enqueue_nowait(T value, std::uint32_t tid) {
+    if (!has_room()) return false;
+    q_.enqueue(std::move(value), tid);
+    count(&bounded_counters::admitted, tid);
+    return true;
+  }
+
+  /// Room waiters' hub: dequeues notify it, close() broadcasts it, and the
+  /// async layer enlists coroutine continuations on it for backpressure.
+  waiter_hub& room_hub() noexcept { return hub_; }
+  const waiter_hub& room_hub() const noexcept { return hub_; }
+
+  /// Admission predicate, for waiters re-checking under the hub lock. A
+  /// hint, like empty_hint: exact at the instant of the counter read.
+  bool has_room_hint() const noexcept { return has_room(); }
+
+  /// The block policy's liveness backstop (see wait_for_room): room waiters
+  /// must re-poll at this interval even without a notification.
+  std::chrono::milliseconds room_recheck_interval() const noexcept {
+    return cfg_.block_recheck;
   }
 
   // ---------------------------------------------------------- observability
@@ -213,13 +241,17 @@ class bounded_wf_queue {
   }
 
   bounded_counters stats() const {
+    const auto read = [](const std::uint64_t& f) {
+      return std::atomic_ref<const std::uint64_t>(f).load(
+          std::memory_order_relaxed);
+    };
     bounded_counters total;
     for (std::uint32_t i = 0; i < q_.max_threads(); ++i) {
       const bounded_counters& c = counters_[i].get();
-      total.admitted += c.admitted;
-      total.rejected += c.rejected;
-      total.overwritten += c.overwritten;
-      total.block_waits += c.block_waits;
+      total.admitted += read(c.admitted);
+      total.rejected += read(c.rejected);
+      total.overwritten += read(c.overwritten);
+      total.block_waits += read(c.block_waits);
     }
     return total;
   }
@@ -232,26 +264,36 @@ class bounded_wf_queue {
 
   /// Block-policy wait: returns true when there is room, false when the
   /// queue was closed. Timed re-check because reclamation can free segments
-  /// with no dequeue (hence no notify) accompanying it.
+  /// with no dequeue (hence no notify) accompanying it — the timeout is the
+  /// liveness backstop for that enqueue-without-notify case, regression-
+  /// tested by tests/storage_bounded_wakeup_test.cpp.
   bool wait_for_room(std::uint32_t tid) {
     if (has_room()) return true;  // fast path, no lock
-    std::unique_lock<std::mutex> lk(m_);
-    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    thread_parker p;
+    p.set_trace_tid(tid);  // hub events go to the same ring as the queue ops
+    auto lk = hub_.lock();
+    hub_.enlist(p, lk);
     count(&bounded_counters::block_waits, tid);
     bool room;
     for (;;) {
-      // Re-check after registering: a dequeue that saw waiters_ == 0 must
-      // have completed before our fetch_add, so its space is visible here.
+      // Re-check after enlisting: a dequeue that saw no waiters must have
+      // completed before our seq_cst enlist, so its space is visible here.
       room = has_room();
-      if (room || closed_) break;
-      cv_.wait_for(lk, cfg_.block_recheck);
+      if (room || closed_.load(std::memory_order_seq_cst)) break;
+      (void)p.park_for(hub_, lk, cfg_.block_recheck);
     }
-    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    hub_.delist(p, lk);
     return room;
   }
 
+  // Owner-thread-only slots, but stats() polls them live (the wakeup tests
+  // spin on block_waits while producers park) — atomic_ref keeps the
+  // single-writer increment a plain load+store while making the cross-
+  // thread read well-defined.
   void count(std::uint64_t bounded_counters::* field, std::uint32_t tid) {
-    counters_[tid].get().*field += 1;  // owner-thread-only, padded
+    std::atomic_ref<std::uint64_t> ref(counters_[tid].get().*field);
+    ref.store(ref.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
   }
 
   bounded_config cfg_;
@@ -260,10 +302,10 @@ class bounded_wf_queue {
   Inner q_;
   std::vector<padded<bounded_counters>> counters_{q_.max_threads()};
 
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  std::atomic<std::uint64_t> waiters_{0};
-  bool closed_ = false;  // guarded by m_
+  waiter_hub hub_;
+  // Written under the hub lock (close <-> park ordering), read lock-free
+  // so the async room_step can poll it while holding the hub lock itself.
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace kpq

@@ -1,0 +1,388 @@
+// waiter_hub: the one park/notify primitive behind every "wait until another
+// thread produces a condition" path in the library.
+//
+// Before this layer existed the repo had two hand-rolled condition_variable
+// parking loops (blocking_adapter's empty-queue wait and bounded_wf_queue's
+// block-admission wait). Adding coroutine resumption as a third copy would
+// have tripled the lost-wakeup surface; instead all of them now share this
+// hub, whose waiters are pluggable CONTINUATIONS:
+//
+//   * thread_parker (below)          — a cv-based sleeping thread; exactly
+//     the eventcount-lite behaviour the old code had.
+//   * coro_resumer (async/coro_waiter.hpp) — a suspended
+//     std::coroutine_handle<>, resumed inline by the notifier or posted to
+//     an event_loop executor.
+//
+// Protocol (the Dekker pairing the old adapters relied on, made explicit):
+//
+//   waiter:   lock() → enlist() → RE-CHECK the predicate → commit_park() →
+//             suspend (sleep on a cv, or return control to the coroutine
+//             caller). The enlist bumps a seq_cst waiter count BEFORE the
+//             re-check.
+//   notifier: make the predicate true → maybe_waiters() (seq_cst load). A
+//             read of 0 proves any future waiter's re-check happens after
+//             the notifier's write, so skipping the lock is safe. Otherwise
+//             notify_one()/notify_all().
+//
+// Two-phase notification: under the hub lock the notifier pops a waiter and
+// calls its try_accept(), which answers one of three ways:
+//
+//   * refused — the continuation was already claimed by a timeout or
+//     cancellation; the notifier passes the token to the NEXT waiter
+//     instead of dropping it, so a cancelled waiter can never eat a wakeup.
+//   * accepted_inline — the wakeup is fully delivered under the lock
+//     (thread_parker cv-notifies right there). The hub must never touch
+//     the waiter again: the moment the lock drops, the woken thread can
+//     return from park() and destroy the stack-allocated parker.
+//   * needs_resume — the notifier calls resume() AFTER unlocking
+//     (coro_resumer). A coroutine must never be resumed while the notifier
+//     holds the hub lock (the resumed frame may immediately re-enter the
+//     hub); the frame is guaranteed alive post-unlock because teardown of
+//     a parked frame must win the claim first (see coro_waiter.hpp).
+//
+// The hub also owns the park/resume observability: waiter_park /
+// waiter_resume trace events and a stats() block the obs registry exports
+// structurally (obs/registry.hpp, waiter_hub_stats_like).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "harness/timing.hpp"
+#include "obs/trace_ring.hpp"
+#include "sync/thread_registry.hpp"
+
+namespace kpq {
+
+/// Aggregate park/notify counters (read at sampling points; the mutex-
+/// guarded fields are snapshotted under the hub lock).
+struct waiter_hub_stats {
+  std::uint64_t parks = 0;     // continuations that actually suspended
+  std::uint64_t notifies = 0;  // tokens delivered to a live continuation
+  std::uint64_t resumes = 0;   // accepted continuations that ran again
+  std::uint64_t resume_ns_total = 0;  // accept -> running latency, summed
+  std::uint64_t resume_ns_max = 0;
+  double mean_resume_ns() const noexcept {
+    return resumes > 0 ? static_cast<double>(resume_ns_total) /
+                             static_cast<double>(resumes)
+                       : 0.0;
+  }
+};
+
+class waiter_hub {
+ public:
+  enum class waiter_kind : std::uint8_t { thread = 0, coroutine = 1 };
+
+  /// try_accept() verdicts — see the two-phase-notification comment above.
+  enum class accept_result : std::uint8_t {
+    refused,          // already claimed; pass the token to the next waiter
+    accepted_inline,  // wakeup delivered under the lock; never touch again
+    needs_resume,     // call resume() after the hub lock is released
+  };
+
+  /// Intrusive list node + continuation interface. Lifetime contract: a
+  /// waiter must be delisted (or popped by a notify) before destruction;
+  /// call sites keep the waiter on the waiting frame's stack and delist on
+  /// every exit path.
+  class waiter {
+    friend class waiter_hub;
+
+   public:
+    waiter(const waiter&) = delete;
+    waiter& operator=(const waiter&) = delete;
+
+    /// Still on the hub's list? Callers must hold the hub lock.
+    bool linked() const noexcept { return linked_; }
+
+    /// Trace events from the hub (waiter_park/waiter_resume) normally record
+    /// under the recording thread's auto-registered dense id. Call sites
+    /// whose surrounding queue ops use a caller-supplied tid must route the
+    /// hub's events to the SAME ring — the rings are single-writer per tid,
+    /// and mixing the two id namespaces lets two OS threads collide on one.
+    static constexpr std::uint32_t no_trace_tid = 0xffffffffu;
+    void set_trace_tid(std::uint32_t tid) noexcept { trace_tid_ = tid; }
+
+   protected:
+    explicit waiter(waiter_kind kind) noexcept : kind_(kind) {}
+    ~waiter() { assert(!linked_ && "waiter destroyed while enlisted"); }
+
+    /// Called by the notifier UNDER the hub lock after popping this waiter.
+    /// Claim the continuation — see accept_result for the three verdicts.
+    virtual accept_result try_accept() noexcept = 0;
+
+    /// Called by the notifier AFTER releasing the hub lock, only when
+    /// try_accept() returned needs_resume: actually run the continuation.
+    /// Inline-accepting waiters (thread_parker) never receive this call.
+    virtual void resume() noexcept { assert(false && "inline-accepted"); }
+
+    std::uint64_t accept_ts_ = 0;  // set under the hub lock at accept time
+    waiter_kind kind_;
+
+   private:
+    waiter* prev_ = nullptr;
+    waiter* next_ = nullptr;
+    bool linked_ = false;
+    std::uint32_t trace_tid_ = no_trace_tid;
+  };
+
+  waiter_hub() = default;
+  waiter_hub(const waiter_hub&) = delete;
+  waiter_hub& operator=(const waiter_hub&) = delete;
+
+  /// The hub mutex doubles as the caller's predicate lock (closed flags,
+  /// ready queues). Take it once, do enlist + re-check + commit under it.
+  std::unique_lock<std::mutex> lock() const {
+    return std::unique_lock<std::mutex>(m_);
+  }
+
+  /// Producer-side fast path: seq_cst, pairs with enlist()'s seq_cst
+  /// increment. Reading 0 licenses skipping notify entirely.
+  bool maybe_waiters() const noexcept {
+    return count_.load(std::memory_order_seq_cst) > 0;
+  }
+
+  /// FIFO-append `w`. The seq_cst count bump happens here, BEFORE the
+  /// caller's predicate re-check (the waiter half of the Dekker pairing).
+  void enlist(waiter& w, const std::unique_lock<std::mutex>& lk) {
+    assert(lk.owns_lock() && lk.mutex() == &m_);
+    (void)lk;
+    assert(!w.linked_);
+    w.prev_ = tail_;
+    w.next_ = nullptr;
+    if (tail_) {
+      tail_->next_ = &w;
+    } else {
+      head_ = &w;
+    }
+    tail_ = &w;
+    w.linked_ = true;
+    count_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Unlink `w` if still enlisted; no-op (returns false) when a notify
+  /// already popped it. Every waiter exit path calls this.
+  bool delist(waiter& w, const std::unique_lock<std::mutex>& lk) {
+    assert(lk.owns_lock() && lk.mutex() == &m_);
+    (void)lk;
+    if (!w.linked_) return false;
+    unlink(w);
+    return true;
+  }
+
+  /// The waiter is about to actually suspend (predicate re-checked false).
+  /// Counts the park and emits the waiter_park trace event.
+  void commit_park(const waiter& w, const std::unique_lock<std::mutex>& lk) {
+    assert(lk.owns_lock() && lk.mutex() == &m_);
+    (void)lk;
+    ++parks_;
+    if constexpr (obs::default_trace::enabled) {
+      obs::default_trace::record(trace_tid_of(w),
+                                 obs::trace_kind::waiter_park, 0,
+                                 static_cast<std::uint32_t>(w.kind_));
+    }
+  }
+
+  /// Deliver one token: pop waiters until one accepts; if the acceptor asked
+  /// for a post-unlock resume, run it after releasing the lock. The overload
+  /// taking a lock consumes it (callers that flip a predicate under the hub
+  /// lock hand the same lock over).
+  void notify_one() { notify_one(lock()); }
+  void notify_one(std::unique_lock<std::mutex> lk) {
+    token t = pop_one(lk);
+    lk.unlock();
+    if (t.to_resume) t.to_resume->resume();
+  }
+
+  /// Deliver a token to every current waiter (close/shutdown paths). Only
+  /// needs_resume waiters reach the post-unlock fire list — inline acceptors
+  /// (thread parkers) may be destroyed the instant the lock drops.
+  void notify_all() { notify_all(lock()); }
+  void notify_all(std::unique_lock<std::mutex> lk) {
+    waiter* fire = nullptr;  // reuse next_ as the unlocked fire-list link
+    for (;;) {
+      token t = pop_one(lk);
+      if (!t.delivered) break;
+      if (t.to_resume) {
+        t.to_resume->next_ = fire;
+        fire = t.to_resume;
+      }
+    }
+    lk.unlock();
+    while (fire) {
+      waiter* w = fire;
+      fire = w->next_;  // read before resume(): resume may free the waiter
+      w->next_ = nullptr;
+      w->resume();
+    }
+  }
+
+  /// Called by the continuation itself once it is running again after an
+  /// accepted notify: closes the accept→running latency measurement and
+  /// emits the waiter_resume trace event (phase = latency in ns).
+  void on_resumed(const waiter& w) noexcept {
+    const std::uint64_t dt = now_ns() - w.accept_ts_;
+    resumes_.fetch_add(1, std::memory_order_relaxed);
+    resume_ns_total_.fetch_add(dt, std::memory_order_relaxed);
+    std::uint64_t prev = resume_ns_max_.load(std::memory_order_relaxed);
+    while (prev < dt && !resume_ns_max_.compare_exchange_weak(
+                            prev, dt, std::memory_order_relaxed)) {
+    }
+    if constexpr (obs::default_trace::enabled) {
+      obs::default_trace::record(trace_tid_of(w),
+                                 obs::trace_kind::waiter_resume,
+                                 static_cast<std::int64_t>(dt),
+                                 static_cast<std::uint32_t>(w.kind_));
+    }
+  }
+
+  waiter_hub_stats stats() const {
+    waiter_hub_stats s;
+    {
+      auto lk = lock();
+      s.parks = parks_;
+      s.notifies = notifies_;
+    }
+    s.resumes = resumes_.load(std::memory_order_relaxed);
+    s.resume_ns_total = resume_ns_total_.load(std::memory_order_relaxed);
+    s.resume_ns_max = resume_ns_max_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  static std::uint32_t trace_tid_of(const waiter& w) noexcept {
+    return w.trace_tid_ != waiter::no_trace_tid ? w.trace_tid_
+                                                : this_thread_id();
+  }
+
+  void unlink(waiter& w) noexcept {
+    if (w.prev_) {
+      w.prev_->next_ = w.next_;
+    } else {
+      head_ = w.next_;
+    }
+    if (w.next_) {
+      w.next_->prev_ = w.prev_;
+    } else {
+      tail_ = w.prev_;
+    }
+    w.prev_ = w.next_ = nullptr;
+    w.linked_ = false;
+    count_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// One token delivery attempt, under the hub lock. `delivered` says a
+  /// waiter consumed the token; `to_resume` is non-null only when that
+  /// waiter wants its resume() after unlock. A null `to_resume` with
+  /// `delivered` set means the wakeup completed inline (thread_parker) —
+  /// the waiter may be destroyed the moment the lock drops, so the hub
+  /// returns no pointer to it.
+  struct token {
+    bool delivered = false;
+    waiter* to_resume = nullptr;
+  };
+
+  /// Pop head waiters until one claims the token. A waiter whose
+  /// continuation was already claimed (cancelled/timed out between unlink
+  /// and accept) does NOT consume the notification.
+  token pop_one(const std::unique_lock<std::mutex>& lk) {
+    assert(lk.owns_lock() && lk.mutex() == &m_);
+    (void)lk;
+    while (head_) {
+      waiter* w = head_;
+      unlink(*w);
+      w->accept_ts_ = now_ns();
+      switch (w->try_accept()) {
+        case accept_result::refused:
+          continue;
+        case accept_result::accepted_inline:
+          ++notifies_;
+          return {true, nullptr};
+        case accept_result::needs_resume:
+          ++notifies_;
+          return {true, w};
+      }
+    }
+    return {};
+  }
+
+  mutable std::mutex m_;
+  waiter* head_ = nullptr;  // guarded by m_
+  waiter* tail_ = nullptr;  // guarded by m_
+  std::atomic<std::uint64_t> count_{0};  // enlisted waiters (Dekker side)
+  std::uint64_t parks_ = 0;              // guarded by m_
+  std::uint64_t notifies_ = 0;           // guarded by m_
+  std::atomic<std::uint64_t> resumes_{0};
+  std::atomic<std::uint64_t> resume_ns_total_{0};
+  std::atomic<std::uint64_t> resume_ns_max_{0};
+};
+
+/// The thread-shaped continuation: a cv the owning thread sleeps on.
+///
+/// Unlike coroutine continuations, the parker's accept must wake the thread
+/// WHILE the hub lock is held: any hub touch after unlock would race the
+/// woken (or timed-out) thread returning from park() and destroying the
+/// stack-allocated parker. try_accept therefore does the cv notify itself
+/// (notifying under the mutex is safe — the sleeper cannot pass wait()
+/// until the notifier releases it) and answers accepted_inline, so the hub
+/// drops its pointer before releasing the lock.
+class thread_parker final : public waiter_hub::waiter {
+ public:
+  thread_parker() noexcept : waiter(waiter_hub::waiter_kind::thread) {}
+
+  /// Notification already consumed? Callers must hold the hub lock.
+  bool notified() const noexcept { return notified_; }
+
+  /// Sleep until a notify accepts this parker. The parker must already be
+  /// enlisted and the predicate re-checked (the caller owns that ordering);
+  /// a parker whose previous park was notified is re-armed automatically.
+  void park(waiter_hub& hub, std::unique_lock<std::mutex>& lk) {
+    arm(hub, lk);
+    while (!notified_) cv_.wait(lk);
+    hub.on_resumed(*this);
+  }
+
+  /// Sleep until notified or `timeout` elapses. Returns false on timeout —
+  /// the parker STAYS enlisted; re-check the predicate and park again or
+  /// delist on the way out.
+  template <typename Rep, typename Period>
+  bool park_for(waiter_hub& hub, std::unique_lock<std::mutex>& lk,
+                std::chrono::duration<Rep, Period> timeout) {
+    return park_until(hub, lk, std::chrono::steady_clock::now() + timeout);
+  }
+
+  template <typename Clock, typename Dur>
+  bool park_until(waiter_hub& hub, std::unique_lock<std::mutex>& lk,
+                  std::chrono::time_point<Clock, Dur> deadline) {
+    arm(hub, lk);
+    while (!notified_) {
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+          !notified_) {
+        return false;
+      }
+    }
+    hub.on_resumed(*this);
+    return true;
+  }
+
+ private:
+  void arm(waiter_hub& hub, const std::unique_lock<std::mutex>& lk) {
+    notified_ = false;
+    if (!linked()) hub.enlist(*this, lk);
+    hub.commit_park(*this, lk);
+  }
+
+  waiter_hub::accept_result try_accept() noexcept override {
+    notified_ = true;
+    cv_.notify_one();  // under the hub lock — see class comment
+    return waiter_hub::accept_result::accepted_inline;
+  }
+
+  std::condition_variable cv_;
+  bool notified_ = false;  // guarded by the hub mutex
+};
+
+}  // namespace kpq

@@ -1,0 +1,256 @@
+// Unit tests for the async runtime pieces that do not involve queues:
+// task<T> (laziness, chaining, exceptions), the hashed timer wheel
+// (due-filtering, past-deadline clamp, full-revolution sweeps), and the
+// event loop (FIFO ready queue, yield interleaving, sleep ordering,
+// drain-on-completion, stop, cross-thread post wakeups).
+#include "async/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <coroutine>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "async/task.hpp"
+
+namespace kpq::async {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ------------------------------------------------------------------- task
+
+task<void> set_flag(bool& flag) {
+  flag = true;
+  co_return;
+}
+
+TEST(Task, IsLazyUntilStarted) {
+  bool ran = false;
+  task<void> t = set_flag(ran);
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(ran);  // initial_suspend = suspend_always
+  t.start();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(t.done());
+}
+
+task<int> leaf() { co_return 21; }
+task<int> parent() { co_return co_await leaf() * 2; }
+
+TEST(Task, ChainsThroughCoAwaitWithSymmetricTransfer) {
+  task<int> t = parent();
+  t.start();  // no external suspension points: runs to completion
+  ASSERT_TRUE(t.done());
+  EXPECT_EQ(t.take(), 42);
+}
+
+task<int> thrower() {
+  throw std::runtime_error("boom");
+  co_return 0;  // unreachable; makes this a coroutine
+}
+
+TEST(Task, ExceptionPropagatesFromTake) {
+  task<int> t = thrower();
+  t.start();
+  ASSERT_TRUE(t.done());
+  EXPECT_THROW((void)t.take(), std::runtime_error);
+}
+
+task<int> rethrower() { co_return co_await thrower(); }
+
+TEST(Task, ExceptionPropagatesThroughCoAwait) {
+  task<int> t = rethrower();
+  t.start();
+  ASSERT_TRUE(t.done());
+  EXPECT_THROW((void)t.take(), std::runtime_error);
+}
+
+TEST(Task, DestroyingUnstartedTaskFreesTheFrame) {
+  bool ran = false;
+  { task<void> t = set_flag(ran); }  // dtor destroys a never-started frame
+  EXPECT_FALSE(ran);
+}
+
+// ------------------------------------------------------------ timer wheel
+
+timer_wheel::entry cb_entry(std::uint64_t deadline, int& fired) {
+  return {deadline, {}, [&fired] { ++fired; }};
+}
+
+TEST(TimerWheel, FiresOnlyDueEntries) {
+  timer_wheel w(/*tick_ns=*/100, /*slot_count=*/8);
+  int a = 0, b = 0;
+  w.schedule(cb_entry(250, a));
+  w.schedule(cb_entry(910, b));
+  EXPECT_EQ(w.pending(), 2u);
+  EXPECT_EQ(w.next_deadline_ns(), 250u);
+
+  std::vector<timer_wheel::entry> due;
+  w.advance(300, due);
+  ASSERT_EQ(due.size(), 1u);
+  due[0].cb();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(w.pending(), 1u);
+
+  due.clear();
+  w.advance(1000, due);
+  ASSERT_EQ(due.size(), 1u);
+  due[0].cb();
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(w.pending(), 0u);
+  EXPECT_EQ(w.next_deadline_ns(), timer_wheel::no_deadline);
+}
+
+TEST(TimerWheel, FutureRevolutionStaysPutUntilDue) {
+  timer_wheel w(100, 4);  // revolution = 400 ns
+  int fired = 0;
+  // Deadline 950 shares slot 1 with tick 1, but is two revolutions out.
+  w.schedule(cb_entry(950, fired));
+  std::vector<timer_wheel::entry> due;
+  w.advance(150, due);  // sweeps slot 1 — entry must NOT fire early
+  EXPECT_TRUE(due.empty());
+  w.advance(960, due);
+  ASSERT_EQ(due.size(), 1u);
+}
+
+TEST(TimerWheel, PastDeadlineFiresOnNextAdvanceNotNextRevolution) {
+  timer_wheel w(100, 4);
+  std::vector<timer_wheel::entry> due;
+  w.advance(500, due);  // cursor now at tick 5
+  EXPECT_TRUE(due.empty());
+  int fired = 0;
+  w.schedule(cb_entry(120, fired));  // tick 1: already behind the cursor
+  w.advance(510, due);               // must fire HERE, not at tick 1+4k
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].deadline_ns, 120u);
+}
+
+TEST(TimerWheel, FirstAdvanceSweepsPreStartSchedules) {
+  timer_wheel w(100, 4);
+  int fired = 0;
+  // Several slots, all due well before the first advance's `now`.
+  w.schedule(cb_entry(10, fired));
+  w.schedule(cb_entry(110, fired));
+  w.schedule(cb_entry(210, fired));
+  std::vector<timer_wheel::entry> due;
+  w.advance(100'000, due);  // first sweep covers a whole revolution
+  EXPECT_EQ(due.size(), 3u);
+  EXPECT_EQ(w.pending(), 0u);
+}
+
+// ------------------------------------------------------------- event loop
+
+task<void> append_after_yield(event_loop& loop, std::vector<int>& order,
+                              int id) {
+  co_await loop.yield();
+  order.push_back(id);
+}
+
+TEST(EventLoop, ReadyQueueRunsInPostOrder) {
+  event_loop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    loop.spawn(append_after_yield(loop, order, i));
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  const loop_stats s = loop.stats();
+  EXPECT_EQ(s.spawned, 4u);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_GE(s.resumes, 4u);
+  EXPECT_EQ(loop.active(), 0u);
+}
+
+task<void> append_twice(event_loop& loop, std::vector<std::string>& order,
+                        std::string tag) {
+  co_await loop.yield();
+  order.push_back(tag + "0");
+  co_await loop.yield();
+  order.push_back(tag + "1");
+}
+
+TEST(EventLoop, YieldInterleavesCooperatively) {
+  event_loop loop;
+  std::vector<std::string> order;
+  loop.spawn(append_twice(loop, order, "a"));
+  loop.spawn(append_twice(loop, order, "b"));
+  loop.run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a0", "b0", "a1", "b1"}));
+}
+
+task<void> sleep_then_append(event_loop& loop, std::chrono::milliseconds d,
+                             std::vector<char>& order, char id) {
+  co_await loop.sleep_for(d);
+  order.push_back(id);
+}
+
+TEST(EventLoop, SleepOrdersByDeadlineAndParksIdle) {
+  event_loop loop;
+  std::vector<char> order;
+  loop.spawn(sleep_then_append(loop, 30ms, order, 'A'));
+  loop.spawn(sleep_then_append(loop, 5ms, order, 'B'));
+  const auto t0 = std::chrono::steady_clock::now();
+  loop.run();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(order, (std::vector<char>{'B', 'A'}));
+  EXPECT_GE(dt, 29ms);  // really waited for the later deadline
+  const loop_stats s = loop.stats();
+  EXPECT_GE(s.timer_fires, 2u);
+  EXPECT_GE(s.idle_parks, 1u);  // slept instead of spinning
+}
+
+TEST(EventLoop, StopReturnsEarlyThenResumedRunDrains) {
+  event_loop loop;
+  std::vector<char> order;
+  loop.spawn(sleep_then_append(loop, 100ms, order, 'S'));
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(10ms);
+    loop.stop();
+  });
+  loop.run();  // returns at the stop, sleeper still pending
+  stopper.join();
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(loop.active(), 1u);
+  loop.run();  // stop flag was consumed; this run drains fully
+  EXPECT_EQ(order, (std::vector<char>{'S'}));
+  EXPECT_EQ(loop.active(), 0u);
+}
+
+struct capture_handle {
+  std::coroutine_handle<>* slot;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) noexcept { *slot = h; }
+  void await_resume() const noexcept {}
+};
+
+task<void> wait_external(std::coroutine_handle<>& slot, bool& resumed) {
+  co_await capture_handle{&slot};
+  resumed = true;
+}
+
+TEST(EventLoop, CrossThreadPostWakesParkedLoop) {
+  event_loop loop;
+  std::coroutine_handle<> h{};
+  bool resumed = false;
+  loop.spawn(wait_external(h, resumed));  // suspends during spawn
+  ASSERT_TRUE(h);
+  std::thread poster([&] {
+    std::this_thread::sleep_for(20ms);
+    loop.post(h);  // the only wake signal the parked loop will get
+  });
+  loop.run();
+  poster.join();
+  EXPECT_TRUE(resumed);
+  EXPECT_GE(loop.stats().idle_parks, 1u);
+  EXPECT_EQ(loop.hub().stats().parks, loop.stats().idle_parks);
+}
+
+}  // namespace
+}  // namespace kpq::async
