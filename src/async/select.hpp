@@ -62,6 +62,9 @@ struct select_step {
         : waiter(waiter_hub::waiter_kind::coroutine), step(s), idx(i) {}
 
     waiter_hub::accept_result try_accept() noexcept override {
+      // kpq-order: acq_rel pairs-with the rival claimed_ exchanges
+      // (canceller, await_suspend re-checks, ~select_step) — the winner's
+      // release publishes fired_index_/stash_ to whichever rival acquires
       if (step->claimed_.exchange(true, std::memory_order_acq_rel)) {
         // Another rival owns the resume; pass the token on.
         return waiter_hub::accept_result::refused;
@@ -88,6 +91,8 @@ struct select_step {
   struct canceller {
     select_step* s;
     void operator()() const noexcept {
+      // kpq-order: acq_rel pairs-with the rival claimed_ exchanges
+      // (node::try_accept, await_suspend re-checks, ~select_step)
       if (!s->claimed_.exchange(true, std::memory_order_acq_rel)) {
         s->dispatch();
       }
@@ -106,6 +111,9 @@ struct select_step {
     // dead frame, then unhook every node (same contract as dequeue_step).
     stop_cb.reset();
     if (parked_) {
+      // kpq-order: acq_rel pairs-with the rival claimed_ exchanges
+      // (node::try_accept, canceller) — taking the claim fences off any
+      // notifier from resuming the frame we are about to destroy
       claimed_.exchange(true, std::memory_order_acq_rel);
       delist_all();
     }
@@ -165,6 +173,9 @@ struct select_step {
     const std::uint32_t tid = this_thread_id();
     for (std::size_t i = 0; i < qs.size(); ++i) {
       if (auto v = qs[i]->try_dequeue(tid)) {
+        // kpq-order: acq_rel pairs-with the rival claimed_ exchanges
+        // (node::try_accept, canceller) — losing acquires the winner's
+        // fired_index_ write before we stash the item for await_resume
         if (!claimed_.exchange(true, std::memory_order_acq_rel)) {
           value_ = std::move(v);
           index_ = i;
@@ -180,6 +191,8 @@ struct select_step {
       }
     }
     if (st.stop_requested() || all_closed()) {
+      // kpq-order: acq_rel pairs-with the rival claimed_ exchanges
+      // (node::try_accept, canceller) — same claim race as the re-check
       if (!claimed_.exchange(true, std::memory_order_acq_rel)) {
         open_ = false;
         parked_ = false;

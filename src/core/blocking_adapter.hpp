@@ -55,8 +55,12 @@ class blocking_adapter {
   /// Blocks until an element is available or close() was called.
   /// Returns nullopt only after close() with the queue drained.
   std::optional<value_type> dequeue_blocking(std::uint32_t tid) {
+    // kpq-bound: blocking by documented contract (see header comment) — each
+    // retry follows an accepted wakeup, i.e. a producer enqueued or close()
     for (;;) {
       if (auto v = q_.dequeue(tid)) return v;
+      // kpq-block: this adapter IS the sanctioned blocking facade over the
+      // wait-free queue; the park itself is delegated to the hub protocol
       thread_parker p;
       p.set_trace_tid(tid);  // hub events go to the same ring as q_'s ops
       auto lk = hub_.lock();
@@ -70,6 +74,7 @@ class blocking_adapter {
         hub_.delist(p, lk);
         return std::nullopt;
       }
+      // kpq-block: sanctioned blocking facade (see dequeue_blocking header)
       p.park(hub_, lk);  // an accepted notify already delisted us
     }
   }
@@ -82,8 +87,11 @@ class blocking_adapter {
   std::optional<value_type> dequeue_for(
       std::chrono::duration<Rep, Period> timeout, std::uint32_t tid) {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
+    // kpq-bound: blocking by documented contract, additionally bounded by
+    // `deadline` — every retry follows a wakeup or the timeout fires
     for (;;) {
       if (auto v = q_.dequeue(tid)) return v;
+      // kpq-block: sanctioned blocking facade (see dequeue_blocking header)
       thread_parker p;
       p.set_trace_tid(tid);  // hub events go to the same ring as q_'s ops
       auto lk = hub_.lock();
@@ -92,6 +100,7 @@ class blocking_adapter {
         hub_.delist(p, lk);
         return v;
       }
+      // kpq-block: sanctioned bounded wait — returns false at `deadline`
       if (closed_ || !p.park_until(hub_, lk, deadline)) {
         hub_.delist(p, lk);
         return q_.dequeue(tid);  // final chance either way

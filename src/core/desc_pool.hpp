@@ -48,6 +48,8 @@ class desc_pool {
       d->~op_desc<T>();
       return new (d) op_desc<T>(std::forward<Args>(args)...);
     }
+    // kpq-order: relaxed pairs-with none (statistics counter; read only by
+    // the relaxed load in fresh_allocs(), orders no other data)
     fresh_allocs_.fetch_add(1, std::memory_order_relaxed);
     if (accounting_ != nullptr) accounting_->account_alloc(sizeof(op_desc<T>));
     return new op_desc<T>(std::forward<Args>(args)...);
@@ -82,6 +84,7 @@ class desc_pool {
     return free_[tid]->items.size();
   }
   std::uint64_t fresh_allocs() const noexcept {
+    // kpq-order: relaxed pairs-with none (statistics read; may lag)
     return fresh_allocs_.load(std::memory_order_relaxed);
   }
 

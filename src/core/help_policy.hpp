@@ -103,15 +103,20 @@ struct help_chunk_rt {
   /// value only sizes the next helping pass, it orders nothing.
   void set_chunk(std::uint32_t k) noexcept {
     k = k < 1 ? 1 : (k > Ceiling ? Ceiling : k);
+    // kpq-order: relaxed pairs-with none (tuning knob; any recent value is
+    // valid — the reader re-clamps before use, no data is published through it)
     chunk_.value.store(k, std::memory_order_relaxed);
   }
   std::uint32_t chunk() const noexcept {
+    // kpq-order: relaxed pairs-with none (tuning knob read; may lag)
     return chunk_.value.load(std::memory_order_relaxed);
   }
 
   template <typename Queue, typename Guard>
   void run(Queue& q, std::uint32_t my_tid, std::int64_t phase, Guard& g) {
     const std::uint32_t n = q.max_threads();
+    // kpq-order: relaxed pairs-with none (tuning knob; sizes this helping
+    // pass only — wait-freedom holds for any value in [1, Ceiling])
     const std::uint32_t raw = chunk_.value.load(std::memory_order_relaxed);
     const std::uint32_t width = raw > Ceiling ? Ceiling : (raw < 1 ? 1 : raw);
     std::uint32_t& k = cursor_[my_tid].value;  // owner-only cursor

@@ -42,6 +42,10 @@ struct fetch_add_phase {
 
   template <typename Queue, typename Guard>
   std::int64_t next_phase(Queue&, Guard&, std::uint32_t /*tid*/) noexcept {
+    // kpq-order: acq_rel pairs-with the other next_phase fetch_adds — the
+    // RMW chain makes phase numbers monotone across threads (the Bakery
+    // doorway the §5.3 wait-freedom proof needs); seq_cst is not required
+    // because only the counter's own modification order matters
     return counter.value.fetch_add(1, std::memory_order_acq_rel);
   }
   static constexpr const char* name = "fetch_add_phase";
@@ -55,9 +59,13 @@ struct cas_phase {
 
   template <typename Queue, typename Guard>
   std::int64_t next_phase(Queue&, Guard&, std::uint32_t /*tid*/) noexcept {
+    // kpq-order: acquire pairs-with the release half of the CAS below as
+    // performed by other threads (observe their counter bumps)
     std::int64_t cur = counter.value.load(std::memory_order_acquire);
     // Paper footnote 3: no need to retry — a failure means another thread
     // chose the same phase, which the <= helping rule tolerates.
+    // kpq-order: acq_rel pairs-with the acquire load above in rival
+    // next_phase calls; duplicate phases on CAS failure are tolerated
     counter.value.compare_exchange_strong(cur, cur + 1,
                                           std::memory_order_acq_rel);
     return cur;

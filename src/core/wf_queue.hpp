@@ -201,9 +201,13 @@ class wf_queue : public mem_tracked {
         stats_(Options::collect_stats ? max_threads : 0) {
     set_memory_counters(mc);
     node_type* sentinel = alloc_node(0, T{}, no_tid);  // paper line 28
+    // kpq-order: relaxed pairs-with the ctor-exit seq_cst fence below —
+    // no thread can access the queue before construction returns.
     head_.store(sentinel, std::memory_order_relaxed);
+    // kpq-order: relaxed pairs-with the ctor-exit seq_cst fence below
     tail_.store(sentinel, std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < n_; ++i) {  // paper lines 32-34
+      // kpq-order: relaxed pairs-with the ctor-exit seq_cst fence below
       state_[i]->store(pool_.make(i, no_phase, false, true, nullptr),
                        std::memory_order_relaxed);
     }
@@ -217,13 +221,18 @@ class wf_queue : public mem_tracked {
   /// Requires quiescence (no operation in flight), like all concurrent
   /// container destructors.
   ~wf_queue() {
+    // kpq-order: relaxed pairs-with none (destructor requires quiescence;
+    // callers synchronize via thread join before destroying the queue)
     node_type* n = head_.load(std::memory_order_relaxed);
     while (n != nullptr) {
+      // kpq-hazard: quiescent — no concurrent retirement during destruction
+      // kpq-order: relaxed pairs-with none (quiescent, see above)
       node_type* next = n->next.load(std::memory_order_relaxed);
       storage_.release(n);
       n = next;
     }
     for (std::uint32_t i = 0; i < n_; ++i) {
+      // kpq-order: relaxed pairs-with none (quiescent, see above)
       desc_type* d = state_[i]->load(std::memory_order_relaxed);
       assert(!d->pending && "destroying a queue with an operation in flight");
       free_desc(d);
@@ -415,8 +424,17 @@ class wf_queue : public mem_tracked {
   /// Test-only, requires quiescence: number of elements by list walk.
   std::size_t unsafe_size() const {
     std::size_t n = 0;
+    // kpq-hazard: quiescent by contract (test-only helper) — no node can
+    // be retired while we walk.
+    // kpq-order: acquire pairs-with the seq_cst link/swing CASes of the
+    // last completed operations (observe their node writes at quiescence)
     const node_type* p = head_.load(std::memory_order_acquire);
+    // kpq-hazard: quiescent (see above)
+    // kpq-order: acquire pairs-with the linking CAS (line 74) of each
+    // enqueue whose node this walk visits
     for (p = p->next.load(std::memory_order_acquire); p != nullptr;
+         // kpq-hazard: quiescent (see above)
+         // kpq-order: acquire pairs-with the linking CAS (line 74)
          p = p->next.load(std::memory_order_acquire)) {
       ++n;
     }

@@ -149,9 +149,13 @@ class wf_queue_fps : public mem_tracked {
         state_(max_threads) {
     set_memory_counters(mc);
     node_type* sentinel = alloc_node(0, T{}, no_tid);
+    // kpq-order: relaxed pairs-with the ctor-exit seq_cst fence below —
+    // no other thread can touch the queue before the ctor returns
     head_.store(sentinel, std::memory_order_relaxed);
+    // kpq-order: relaxed pairs-with the ctor-exit seq_cst fence below
     tail_.store(sentinel, std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < n_; ++i) {
+      // kpq-order: relaxed pairs-with the ctor-exit seq_cst fence below
       state_[i]->store(pool_.make(i, no_phase, false, true, nullptr),
                        std::memory_order_relaxed);
     }
@@ -163,13 +167,18 @@ class wf_queue_fps : public mem_tracked {
   wf_queue_fps& operator=(const wf_queue_fps&) = delete;
 
   ~wf_queue_fps() {
+    // kpq-order: relaxed pairs-with none (destructor requires quiescence:
+    // the caller must have joined every thread that used the queue)
     node_type* n = head_.load(std::memory_order_relaxed);
     while (n != nullptr) {
+      // kpq-hazard: quiescent — no concurrent retirement during destruction
+      // kpq-order: relaxed pairs-with none (quiescent, see above)
       node_type* next = n->next.load(std::memory_order_relaxed);
       storage_.release(n);
       n = next;
     }
     for (std::uint32_t i = 0; i < n_; ++i) {
+      // kpq-order: relaxed pairs-with none (quiescent, see above)
       desc_type* d = state_[i]->load(std::memory_order_relaxed);
       assert(!d->pending && "destroying a queue with an operation in flight");
       free_desc(d);
@@ -213,6 +222,9 @@ class wf_queue_fps : public mem_tracked {
     count_path(tid, /*slow=*/true, /*is_enq=*/true);
     node->enq_tid = static_cast<std::int32_t>(tid);
     const std::int64_t phase =
+        // kpq-order: acq_rel pairs-with the other phase_counter_ fetch_adds
+        // — the RMW chain keeps phases monotone (Bakery doorway, cf.
+        // fetch_add_phase)
         phase_counter_->fetch_add(1, std::memory_order_acq_rel);
     publish(tid, pool_.make(tid, phase, true, true, node));
     Options::hooks::after_slow_publish(tid, /*is_enq=*/true);
@@ -265,6 +277,8 @@ class wf_queue_fps : public mem_tracked {
     // Slow path: the base algorithm's dequeue.
     count_path(tid, /*slow=*/true, /*is_enq=*/false);
     const std::int64_t phase =
+        // kpq-order: acq_rel pairs-with the other phase_counter_ fetch_adds
+        // — same doorway as the slow-path enqueue above
         phase_counter_->fetch_add(1, std::memory_order_acq_rel);
     publish(tid, pool_.make(tid, phase, true, false, nullptr));
     Options::hooks::after_slow_publish(tid, /*is_enq=*/false);
@@ -289,11 +303,14 @@ class wf_queue_fps : public mem_tracked {
   /// Set fast-path patience; clamped to [0, patience_ceiling]. 0 means
   /// every operation announces immediately (pure slow path).
   void set_patience(std::uint32_t tries) noexcept {
+    // kpq-order: relaxed pairs-with none (tuning knob; readers re-clamp to
+    // the compile-time ceiling, so any value they observe is safe)
     patience_.value.store(
         tries > patience_ceiling ? patience_ceiling : tries,
         std::memory_order_relaxed);
   }
   std::uint32_t patience() const noexcept {
+    // kpq-order: relaxed pairs-with none (tuning knob read; may lag)
     return patience_.value.load(std::memory_order_relaxed);
   }
 
@@ -303,9 +320,14 @@ class wf_queue_fps : public mem_tracked {
   fps_path_stats path_counters(std::uint32_t tid) const noexcept {
     fps_path_stats s;
     const auto& c = path_stats_[tid];
+    // kpq-order: relaxed pairs-with none (owner-written statistics; exact
+    // at quiescence, momentary estimate during a run — documented contract)
     s.fast_enqs = c->fast_enqs.load(std::memory_order_relaxed);
+    // kpq-order: relaxed pairs-with none (statistics, see above)
     s.slow_enqs = c->slow_enqs.load(std::memory_order_relaxed);
+    // kpq-order: relaxed pairs-with none (statistics, see above)
     s.fast_deqs = c->fast_deqs.load(std::memory_order_relaxed);
+    // kpq-order: relaxed pairs-with none (statistics, see above)
     s.slow_deqs = c->slow_deqs.load(std::memory_order_relaxed);
     return s;
   }
@@ -333,8 +355,16 @@ class wf_queue_fps : public mem_tracked {
 
   std::size_t unsafe_size() const {
     std::size_t n = 0;
+    // kpq-hazard: quiescent by contract (test-only helper) — no node can be
+    // retired while we walk
+    // kpq-order: acquire pairs-with the seq_cst link/swing CASes of the last
+    // completed operations (observe their node writes at quiescence)
     const node_type* p = head_.load(std::memory_order_acquire);
+    // kpq-hazard: quiescent (see above)
+    // kpq-order: acquire pairs-with the linking CAS of each visited enqueue
     for (p = p->next.load(std::memory_order_acquire); p != nullptr;
+         // kpq-hazard: quiescent (see above)
+         // kpq-order: acquire pairs-with the linking CAS (see above)
          p = p->next.load(std::memory_order_acquire)) {
       ++n;
     }
@@ -375,6 +405,8 @@ class wf_queue_fps : public mem_tracked {
   /// compile-time ceiling (the clamp is what keeps the step bound a
   /// constant even while a tuner stores arbitrary values concurrently).
   std::uint32_t patience_now() const noexcept {
+    // kpq-order: relaxed pairs-with none (tuning knob; the clamp below makes
+    // any observed value safe — the step bound stays compile-time constant)
     const std::uint32_t p = patience_.value.load(std::memory_order_relaxed);
     return p < patience_ceiling ? p : patience_ceiling;
   }
@@ -390,10 +422,12 @@ class wf_queue_fps : public mem_tracked {
   /// Owner-thread, non-RMW path accounting (load + relaxed store).
   void count_path(std::uint32_t tid, bool slow, bool is_enq) noexcept {
     auto& c = path_stats_[tid].value;
-    std::atomic<std::uint64_t>& slot = is_enq
+    std::atomic<std::uint64_t>& cell = is_enq
                                            ? (slow ? c.slow_enqs : c.fast_enqs)
                                            : (slow ? c.slow_deqs : c.fast_deqs);
-    slot.store(slot.load(std::memory_order_relaxed) + 1,
+    // kpq-order: relaxed pairs-with none (owner-thread statistics cell; the
+    // non-RMW load+store is safe because only `tid` ever writes this cell)
+    cell.store(cell.load(std::memory_order_relaxed) + 1,
                std::memory_order_relaxed);
   }
 

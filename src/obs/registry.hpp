@@ -310,9 +310,9 @@ class registry {
   /// The referee must outlive the registry (true of the queue/domain
   /// singletons this is built for).
   template <typename T>
-  void add(std::string prefix, const T& source) {
-    add_source(prefix, [prefix, &source](metrics_snapshot& out) {
-      append_metrics(out, prefix, source);
+  void add(std::string prefix, const T& subject) {
+    add_source(prefix, [prefix, &subject](metrics_snapshot& out) {
+      append_metrics(out, prefix, subject);
     });
   }
 

@@ -61,12 +61,17 @@ class epoch_domain {
       if (!d_) return;
       auto& t = d_->threads_[tid_].get();
       if (--t.nesting == 0) {
+        // kpq-order: release pairs-with try_advance's seq_cst active scan —
+        // every read made under the guard happens-before an advance that no
+        // longer counts us as pinned
         t.active.store(false, std::memory_order_release);
       }
     }
 
     template <typename T>
     T* protect(std::uint32_t /*slot*/, const std::atomic<T*>& src) noexcept {
+      // kpq-order: acquire pairs-with the seq_cst CAS that published *p —
+      // the pinned epoch (not this load) is what keeps p alive under EBR
       return src.load(std::memory_order_acquire);
     }
     template <typename T>
@@ -85,8 +90,12 @@ class epoch_domain {
 
   void retire(std::uint32_t tid, void* p, retire_fn fn, void* ctx) {
     auto& t = threads_[tid].get();
+    // kpq-order: acquire pairs-with try_advance's seq_cst epoch CAS — the
+    // bucket index must be from the current or an older epoch (an older one
+    // only delays the free by one advance, never frees early)
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
     t.buckets[e % 3].push_back({p, fn, ctx});
+    // kpq-order: relaxed pairs-with none (statistics counter for tests)
     retired_count_.fetch_add(1, std::memory_order_relaxed);
     if (++t.since_flush >= flush_threshold_) {
       t.since_flush = 0;
@@ -135,6 +144,7 @@ class epoch_domain {
       // from the oldest epoch mapping to the slot.
       for (auto& item : bucket) {
         item.fn(item.ctx, item.p);
+        // kpq-order: relaxed pairs-with none (statistics counter for tests)
         freed_count_.fetch_add(1, std::memory_order_relaxed);
       }
       bucket.clear();
@@ -142,12 +152,16 @@ class epoch_domain {
   }
 
   std::uint64_t retired_count() const noexcept {
+    // kpq-order: relaxed pairs-with none (statistics read; may lag)
     return retired_count_.load(std::memory_order_relaxed);
   }
   std::uint64_t freed_count() const noexcept {
+    // kpq-order: relaxed pairs-with none (statistics read; may lag)
     return freed_count_.load(std::memory_order_relaxed);
   }
   std::uint64_t epoch() const noexcept {
+    // kpq-order: acquire pairs-with try_advance's seq_cst epoch CAS
+    // (observability read; tests compare epochs across threads)
     return global_epoch_.load(std::memory_order_acquire);
   }
 

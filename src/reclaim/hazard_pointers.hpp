@@ -72,6 +72,9 @@ class hp_domain {
     template <typename T>
     T* protect(std::uint32_t slot, const std::atomic<T*>& src) noexcept {
       std::atomic<void*>& h = d_->slot_ref(tid_, slot);
+      // kpq-order: acquire pairs-with the seq_cst CAS that published *p —
+      // only a first guess; the seq_cst announce/validate loop below is
+      // what makes the protection sound
       T* p = src.load(std::memory_order_acquire);
       for (;;) {
         h.store(const_cast<std::remove_const_t<T>*>(p),
@@ -91,6 +94,9 @@ class hp_domain {
     }
 
     void clear(std::uint32_t slot) noexcept {
+      // kpq-order: release pairs-with scan()'s seq_cst slot read — our
+      // preceding reads of *p happen-before a reclaimer frees p; clearing
+      // needs no StoreLoad (a late-seen announcement only delays a free)
       d_->slot_ref(tid_, slot).store(nullptr, std::memory_order_release);
     }
 
@@ -110,6 +116,7 @@ class hp_domain {
     assert(tid < max_threads_);
     auto& r = retired_[tid].get();
     r.items.push_back({p, fn, ctx, 0});
+    // kpq-order: relaxed pairs-with none (statistics counter for tests)
     retired_count_.fetch_add(1, std::memory_order_relaxed);
     if (r.items.size() >= scan_threshold_) scan(tid);
   }
@@ -126,6 +133,7 @@ class hp_domain {
     assert(bytes > 0);
     auto& r = retired_[tid].get();
     r.items.push_back({base, fn, ctx, bytes});
+    // kpq-order: relaxed pairs-with none (statistics counter for tests)
     retired_count_.fetch_add(1, std::memory_order_relaxed);
     scan(tid);
   }
@@ -164,6 +172,7 @@ class hp_domain {
       }
     }
     r.items.resize(kept);
+    // kpq-order: relaxed pairs-with none (statistics counter for tests)
     freed_count_.fetch_add(freed_this_pass, std::memory_order_relaxed);
     // The scan is the reclaimer's only super-constant step (O(H + R)); the
     // trace makes its frequency and yield visible next to the queue events
@@ -177,9 +186,11 @@ class hp_domain {
 
   // --- observability (tests assert reclamation actually happens) ---
   std::uint64_t retired_count() const noexcept {
+    // kpq-order: relaxed pairs-with none (statistics read; may lag)
     return retired_count_.load(std::memory_order_relaxed);
   }
   std::uint64_t freed_count() const noexcept {
+    // kpq-order: relaxed pairs-with none (statistics read; may lag)
     return freed_count_.load(std::memory_order_relaxed);
   }
   std::size_t pending_count() const noexcept {

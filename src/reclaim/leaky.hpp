@@ -39,6 +39,8 @@ class leaky_domain {
     guard() = default;
     template <typename T>
     T* protect(std::uint32_t /*slot*/, const std::atomic<T*>& src) noexcept {
+      // kpq-order: acquire pairs-with the seq_cst CAS that published *p —
+      // lifetime is trivially safe here (nothing is ever freed)
       return src.load(std::memory_order_acquire);
     }
     template <typename T>
@@ -54,6 +56,7 @@ class leaky_domain {
 
   void retire(std::uint32_t tid, void* p, retire_fn fn, void* ctx) {
     retired_[tid]->items.push_back({p, fn, ctx});
+    // kpq-order: relaxed pairs-with none (statistics counter for tests)
     retired_count_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -64,6 +67,7 @@ class leaky_domain {
   }
 
   std::uint64_t retired_count() const noexcept {
+    // kpq-order: relaxed pairs-with none (statistics read; may lag)
     return retired_count_.load(std::memory_order_relaxed);
   }
   std::uint64_t freed_count() const noexcept { return 0; }

@@ -179,6 +179,8 @@ class periodic_ticker {
         fn_();
         next = std::chrono::steady_clock::now() + period_;
       }
+      // kpq-block: dedicated tuner thread, never a queue operator — sleeping
+      // here cannot impede any queue operation's progress bound
       std::this_thread::sleep_for(slice);
     }
   }

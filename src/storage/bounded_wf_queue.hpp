@@ -269,17 +269,23 @@ class bounded_wf_queue {
   /// tested by tests/storage_bounded_wakeup_test.cpp.
   bool wait_for_room(std::uint32_t tid) {
     if (has_room()) return true;  // fast path, no lock
+    // kpq-block: the block admission policy is a documented blocking API
+    // (like blocking_adapter) — the queue operation itself stays wait-free,
+    // only admission under memory pressure waits
     thread_parker p;
     p.set_trace_tid(tid);  // hub events go to the same ring as the queue ops
     auto lk = hub_.lock();
     hub_.enlist(p, lk);
     count(&bounded_counters::block_waits, tid);
     bool room;
+    // kpq-bound: blocking by documented contract (block admission policy);
+    // each retry follows a notify or the block_recheck liveness timeout
     for (;;) {
       // Re-check after enlisting: a dequeue that saw no waiters must have
       // completed before our seq_cst enlist, so its space is visible here.
       room = has_room();
       if (room || closed_.load(std::memory_order_seq_cst)) break;
+      // kpq-block: sanctioned bounded wait (see kpq-bound above)
       (void)p.park_for(hub_, lk, cfg_.block_recheck);
     }
     hub_.delist(p, lk);

@@ -49,6 +49,8 @@ class splitter {
   }
 
   bool closed() const noexcept {
+    // kpq-order: acquire pairs-with the seq_cst closed_ store in visit()
+    // (observability read; the racing protocol itself is all seq_cst)
     return closed_.load(std::memory_order_acquire);
   }
 

@@ -26,13 +26,23 @@ class spin_barrier {
   /// one caller per generation (the last arrival), which benchmarks use to
   /// start the clock.
   bool arrive_and_wait() noexcept {
+    // kpq-order: relaxed pairs-with none (sense_ only flips in the release
+    // store below, which cannot run concurrently with arrivals of the same
+    // generation — the value is stable until the last arrival)
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    // kpq-order: acq_rel pairs-with the other arrivals' fetch_adds — the
+    // last arrival's acquire sees all work preceding every arrival
     if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      // kpq-order: relaxed pairs-with none (ordered before the next
+      // generation by the sense_ release/acquire edge below)
       count_.store(0, std::memory_order_relaxed);
+      // kpq-order: release pairs-with the acquire spin below — publishes
+      // the count_ reset and everything before the barrier to all waiters
       sense_.store(my_sense, std::memory_order_release);
       return true;
     }
     backoff bo(64);
+    // kpq-order: acquire pairs-with the release sense_ store above
     while (sense_.load(std::memory_order_acquire) != my_sense) bo();
     return false;
   }

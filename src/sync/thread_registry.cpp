@@ -34,7 +34,12 @@ std::uint32_t thread_registry::current_tid() noexcept {
 std::uint32_t thread_registry::acquire() noexcept {
   for (std::uint32_t i = 0; i < max_registered_threads; ++i) {
     bool expected = false;
+    // kpq-order: relaxed pairs-with none (contention-avoidance pre-check;
+    // the CAS below is the authoritative claim)
     if (!claimed_[i]->load(std::memory_order_relaxed) &&
+        // kpq-order: acq_rel pairs-with release(tid)'s release store — a
+        // reclaimed slot's acquire sees everything the releasing thread did
+        // under this tid (per-tid queue slots, trace rings)
         claimed_[i]->compare_exchange_strong(expected, true,
                                              std::memory_order_acq_rel)) {
       return i;
@@ -47,12 +52,16 @@ std::uint32_t thread_registry::acquire() noexcept {
 }
 
 void thread_registry::release(std::uint32_t tid) noexcept {
+  // kpq-order: release pairs-with the acq_rel claim CAS in acquire() — the
+  // next owner of this tid observes all of our tid-indexed writes
   claimed_[tid]->store(false, std::memory_order_release);
 }
 
 std::uint32_t thread_registry::high_water() const noexcept {
   std::uint32_t hw = 0;
   for (std::uint32_t i = 0; i < max_registered_threads; ++i) {
+    // kpq-order: acquire pairs-with the claim CAS in acquire() (diagnostic
+    // snapshot; inherently racy against concurrent claims)
     if (claimed_[i]->load(std::memory_order_acquire)) hw = i + 1;
   }
   return hw;
@@ -60,6 +69,8 @@ std::uint32_t thread_registry::high_water() const noexcept {
 
 bool thread_registry::is_claimed(std::uint32_t tid) const noexcept {
   return tid < max_registered_threads &&
+         // kpq-order: acquire pairs-with the claim CAS in acquire()
+         // (diagnostic snapshot; inherently racy against concurrent claims)
          claimed_[tid]->load(std::memory_order_acquire);
 }
 

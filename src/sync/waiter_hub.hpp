@@ -225,9 +225,15 @@ class waiter_hub {
   /// emits the waiter_resume trace event (phase = latency in ns).
   void on_resumed(const waiter& w) noexcept {
     const std::uint64_t dt = now_ns() - w.accept_ts_;
+    // kpq-order: relaxed pairs-with none (latency statistics; read only by
+    // the relaxed snapshot in stats(), orders no other data)
     resumes_.fetch_add(1, std::memory_order_relaxed);
+    // kpq-order: relaxed pairs-with none (statistics, see above)
     resume_ns_total_.fetch_add(dt, std::memory_order_relaxed);
+    // kpq-order: relaxed pairs-with none (statistics max; the CAS loop only
+    // needs the cell's own modification order)
     std::uint64_t prev = resume_ns_max_.load(std::memory_order_relaxed);
+    // kpq-order: relaxed pairs-with none (statistics, see above)
     while (prev < dt && !resume_ns_max_.compare_exchange_weak(
                             prev, dt, std::memory_order_relaxed)) {
     }
@@ -246,8 +252,12 @@ class waiter_hub {
       s.parks = parks_;
       s.notifies = notifies_;
     }
+    // kpq-order: relaxed pairs-with none (statistics snapshot; may lag the
+    // resuming threads — same contract as every counter surface here)
     s.resumes = resumes_.load(std::memory_order_relaxed);
+    // kpq-order: relaxed pairs-with none (statistics, see above)
     s.resume_ns_total = resume_ns_total_.load(std::memory_order_relaxed);
+    // kpq-order: relaxed pairs-with none (statistics, see above)
     s.resume_ns_max = resume_ns_max_.load(std::memory_order_relaxed);
     return s;
   }

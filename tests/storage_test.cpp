@@ -214,7 +214,8 @@ TEST(MemAccounting, LiveBytesReturnToZeroHeapStorage) {
   {
     wf_queue_base<std::uint64_t> q(3, &mc);
     for (int round = 0; round < 3; ++round) {
-      for (std::uint64_t i = 0; i < 200; ++i) q.enqueue(i, i % 3);
+      for (std::uint64_t i = 0; i < 200; ++i)
+        q.enqueue(i, static_cast<std::uint32_t>(i % 3));
       for (int i = 0; i < 200; ++i) (void)q.dequeue(i % 3);
     }
     EXPECT_GE(mc.live_bytes(), 0);
@@ -228,7 +229,8 @@ TEST(MemAccounting, LiveBytesReturnToZeroSegmentStorage) {
   {
     wf_queue_opt_seg<std::uint64_t> q(3, &mc);
     for (int round = 0; round < 3; ++round) {
-      for (std::uint64_t i = 0; i < 200; ++i) q.enqueue(i, i % 3);
+      for (std::uint64_t i = 0; i < 200; ++i)
+        q.enqueue(i, static_cast<std::uint32_t>(i % 3));
       for (int i = 0; i < 200; ++i) (void)q.dequeue(i % 3);
     }
     EXPECT_GE(mc.live_bytes(), 0);

@@ -1,0 +1,88 @@
+"""Suppression baseline: checked-in findings that are tolerated, each with a
+written justification. Policy (docs/STATIC_ANALYSIS.md): the baseline may
+only shrink — a stale entry (its finding no longer fires) is itself an
+error, so fixing a suppressed finding forces deleting its entry in the same
+commit.
+
+Format (tools/kpq_lint/baseline.json):
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "R2",
+          "path": "src/...",
+          "fingerprint": "<16 hex chars from a findings --format json run>",
+          "count": 1,
+          "justification": "why this finding is tolerated"
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from .model import Finding
+
+
+class BaselineError(Exception):
+    pass
+
+
+def load(path: str) -> List[dict]:
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if data.get("version") != 1:
+        raise BaselineError(f"{path}: unsupported baseline version")
+    entries = data.get("entries", [])
+    for e in entries:
+        for key in ("rule", "path", "fingerprint", "justification"):
+            if not e.get(key):
+                raise BaselineError(
+                    f"{path}: baseline entry missing required `{key}` "
+                    f"(every suppression needs a written justification): {e}"
+                )
+        e.setdefault("count", 1)
+    return entries
+
+
+def apply(
+    findings: List[Finding], entries: List[dict]
+) -> Tuple[List[Finding], List[dict]]:
+    """Returns (unsuppressed findings, stale entries)."""
+    budget: Dict[str, int] = {}
+    for e in entries:
+        budget[e["fingerprint"]] = budget.get(e["fingerprint"], 0) + int(
+            e["count"]
+        )
+    remaining: List[Finding] = []
+    used: Dict[str, int] = {}
+    for f in findings:
+        fp = f.fingerprint
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            used[fp] = used.get(fp, 0) + 1
+        else:
+            remaining.append(f)
+    stale = [
+        e
+        for e in entries
+        if used.get(e["fingerprint"], 0) == 0
+    ]
+    return remaining, stale
+
+
+def render_stale(stale: List[dict]) -> str:
+    lines = [
+        "stale baseline entries (their findings no longer fire). The "
+        "baseline must only shrink: delete these entries:",
+    ]
+    for e in stale:
+        lines.append(
+            f"  - {e['rule']} {e['path']} fingerprint={e['fingerprint']} "
+            f"({e['justification']})"
+        )
+    return "\n".join(lines)

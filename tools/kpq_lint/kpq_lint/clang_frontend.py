@@ -1,0 +1,120 @@
+"""Optional libclang (clang.cindex) supplement.
+
+When python3-clang + libclang are installed, this front-end parses each TU
+from compile_commands.json and adds the one class of finding the token
+front-end cannot see precisely: *implicit* operator-form accesses on
+std::atomic objects reached through arbitrary expressions (the token rules
+only catch operators applied to atomics declared in the same file). All
+other rules stay on the token front-end either way, so results are stable
+across environments; this supplement can only add R1 findings.
+
+The CI container and the dev image this repo targets do not ship libclang,
+so availability is probed at runtime and the caller falls back silently
+(reported in the run summary as frontend=token).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .model import Config, Finding, in_dirs, normalize_line
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+    except ImportError:
+        return False
+    try:
+        clang.cindex.Index.create()
+    except Exception:  # libclang.so missing or incompatible
+        return False
+    return True
+
+
+def analyze_tu(
+    source: str,
+    args: List[str],
+    repo_root: str,
+    cfg: Config,
+) -> Optional[List[Finding]]:
+    """R1 implicit-access findings for one translation unit, or None when
+    libclang cannot parse it."""
+    import clang.cindex as ci
+
+    try:
+        index = ci.Index.create()
+        tu = index.parse(source, args=args)
+    except Exception:
+        return None
+
+    findings: List[Finding] = []
+    seen = set()
+
+    def is_atomic_type(t) -> bool:
+        name = t.get_canonical().spelling
+        return name.startswith("std::atomic<") or name.startswith(
+            "std::__atomic_base<"
+        )
+
+    def visit(node):
+        # Operator-form accesses lower to member operator calls on the
+        # atomic; an explicit .load()/.store() lowers to CXXMemberCallExpr
+        # whose callee name we can whitelist.
+        if node.kind in (
+            ci.CursorKind.CXX_OPERATOR_CALL_EXPR,
+            ci.CursorKind.BINARY_OPERATOR,
+            ci.CursorKind.UNARY_OPERATOR,
+        ):
+            for child in node.get_children():
+                if child.type is not None and is_atomic_type(child.type):
+                    loc = node.location
+                    if loc.file is None:
+                        break
+                    path = _rel(loc.file.name, repo_root)
+                    if path is None or not in_dirs(path, cfg.order_dirs):
+                        break
+                    key = (path, loc.line, loc.column)
+                    if key in seen:
+                        break
+                    seen.add(key)
+                    findings.append(
+                        Finding(
+                            rule="R1",
+                            path=path,
+                            line=loc.line,
+                            col=loc.column,
+                            message=(
+                                "operator-form access on a std::atomic is "
+                                "an implicit seq_cst operation (libclang)"
+                            ),
+                            fixit=(
+                                "use load/store/fetch_* with an explicit "
+                                "memory_order"
+                            ),
+                            norm_line=normalize_line(_line_of(loc)),
+                        )
+                    )
+                    break
+        for child in node.get_children():
+            visit(child)
+
+    def _line_of(loc) -> str:
+        try:
+            with open(loc.file.name, encoding="utf-8") as f:
+                return f.read().splitlines()[loc.line - 1]
+        except (OSError, IndexError):
+            return ""
+
+    visit(tu.cursor)
+    return findings
+
+
+def _rel(path: str, repo_root: str) -> Optional[str]:
+    import os
+
+    p = os.path.realpath(path)
+    root = os.path.realpath(repo_root)
+    if not p.startswith(root + os.sep):
+        return None
+    return os.path.relpath(p, root).replace(os.sep, "/")

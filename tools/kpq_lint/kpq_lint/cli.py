@@ -1,0 +1,327 @@
+"""kpq-lint command line driver.
+
+    python3 -m kpq_lint --repo . --build-dir build
+    python3 -m kpq_lint --format json src/core/wf_queue.hpp
+
+Walks compile_commands.json (the documented build contract: configure with
+CMAKE_EXPORT_COMPILE_COMMANDS=ON, which the top-level CMakeLists does
+unconditionally) to find the project's translation units, adds the header
+set under src/ (headers carry almost all of this header-only library's
+code), runs R1-R4 on each file, subtracts the checked-in baseline, and
+exits non-zero on any unsuppressed or stale finding.
+
+Exit codes: 0 clean · 1 findings/stale baseline · 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import hashlib
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+from . import __version__, baseline as baseline_mod
+from .model import Config, Finding, RunResult
+from .rules import analyze_file
+
+CACHE_VERSION = 3  # bump when rules change shape
+
+
+def _eprint(*args) -> None:
+    print(*args, file=sys.stderr)
+
+
+def discover_files(
+    repo: str, build_dir: Optional[str], explicit: List[str]
+) -> List[str]:
+    """Repo-relative paths to analyze."""
+    if explicit:
+        out = []
+        for p in explicit:
+            ap = os.path.join(repo, p) if not os.path.isabs(p) else p
+            if not os.path.isfile(ap):
+                raise FileNotFoundError(p)
+            out.append(os.path.relpath(ap, repo).replace(os.sep, "/"))
+        return sorted(set(out))
+
+    files = set()
+    cc_path = (
+        os.path.join(build_dir, "compile_commands.json") if build_dir else None
+    )
+    if cc_path and os.path.isfile(cc_path):
+        with open(cc_path, encoding="utf-8") as f:
+            for entry in json.load(f):
+                src = entry.get("file", "")
+                if not os.path.isabs(src):
+                    src = os.path.join(entry.get("directory", ""), src)
+                src = os.path.realpath(src)
+                rel = os.path.relpath(src, os.path.realpath(repo))
+                if rel.startswith(".."):
+                    continue
+                rel = rel.replace(os.sep, "/")
+                if rel.startswith("src/"):
+                    files.add(rel)
+    elif cc_path:
+        _eprint(
+            f"kpq-lint: {cc_path} not found — falling back to globbing src/ "
+            "(configure the build to refresh the compile_commands contract)"
+        )
+    for pattern in ("src/**/*.hpp", "src/**/*.cpp", "src/**/*.h"):
+        for p in glob.glob(os.path.join(repo, pattern), recursive=True):
+            files.add(os.path.relpath(p, repo).replace(os.sep, "/"))
+    return sorted(files)
+
+
+def _sha1(text: str) -> str:
+    return hashlib.sha1(text.encode()).hexdigest()
+
+
+class Cache:
+    """Per-file result cache keyed on content hash + rule version. Makes the
+    CI job (and pre-commit runs) incremental: an unchanged file is never
+    re-lexed."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self.data: Dict[str, dict] = {}
+        self.hits = 0
+        if path and os.path.isfile(path):
+            try:
+                with open(path, encoding="utf-8") as f:
+                    raw = json.load(f)
+                if raw.get("cache_version") == CACHE_VERSION and raw.get(
+                    "lint_version"
+                ) == __version__:
+                    self.data = raw.get("files", {})
+            except (OSError, ValueError):
+                self.data = {}
+
+    def get(self, rel: str, digest: str) -> Optional[List[Finding]]:
+        entry = self.data.get(rel)
+        if not entry or entry.get("sha1") != digest:
+            return None
+        self.hits += 1
+        return [
+            Finding(
+                rule=d["rule"],
+                path=d["path"],
+                line=d["line"],
+                col=d["col"],
+                message=d["message"],
+                fixit=d.get("fixit", ""),
+                norm_line=d.get("norm_line", ""),
+            )
+            for d in entry["findings"]
+        ]
+
+    def put(self, rel: str, digest: str, findings: List[Finding]) -> None:
+        self.data[rel] = {
+            "sha1": digest,
+            "findings": [
+                {**f.to_json(), "norm_line": f.norm_line} for f in findings
+            ],
+        }
+
+    def save(self) -> None:
+        if not self.path:
+            return
+        try:
+            os.makedirs(os.path.dirname(self.path), exist_ok=True)
+            with open(self.path, "w", encoding="utf-8") as f:
+                json.dump(
+                    {
+                        "cache_version": CACHE_VERSION,
+                        "lint_version": __version__,
+                        "files": self.data,
+                    },
+                    f,
+                )
+        except OSError as e:
+            _eprint(f"kpq-lint: cache write failed ({e}); continuing")
+
+
+def run(argv: List[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="kpq-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--repo", default=".", help="repository root")
+    ap.add_argument(
+        "--build-dir",
+        default=None,
+        help="build tree holding compile_commands.json (default: <repo>/build)",
+    )
+    ap.add_argument(
+        "--baseline",
+        default=None,
+        help="suppression baseline (default: tools/kpq_lint/baseline.json)",
+    )
+    ap.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    ap.add_argument(
+        "--no-cache", action="store_true", help="disable the parse cache"
+    )
+    ap.add_argument(
+        "--allow-stale",
+        action="store_true",
+        help="do not fail on stale baseline entries (local iteration only; "
+        "CI enforces shrink-only)",
+    )
+    ap.add_argument(
+        "--no-libclang",
+        action="store_true",
+        help="skip the libclang supplement even if installed",
+    )
+    ap.add_argument("--version", action="version", version=__version__)
+    ap.add_argument(
+        "paths", nargs="*", help="restrict to these files (repo-relative)"
+    )
+    args = ap.parse_args(argv)
+
+    repo = os.path.realpath(args.repo)
+    build_dir = args.build_dir or os.path.join(repo, "build")
+    baseline_path = args.baseline or os.path.join(
+        repo, "tools", "kpq_lint", "baseline.json"
+    )
+    cfg = Config()
+
+    try:
+        files = discover_files(repo, build_dir, args.paths)
+    except FileNotFoundError as e:
+        _eprint(f"kpq-lint: no such file: {e}")
+        return 2
+    if not files:
+        _eprint("kpq-lint: nothing to analyze (no src/ files found)")
+        return 2
+
+    cache = Cache(
+        None
+        if args.no_cache
+        else os.path.join(build_dir, "kpq_lint_cache.json")
+    )
+
+    findings: List[Finding] = []
+    for rel in files:
+        try:
+            with open(os.path.join(repo, rel), encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            _eprint(f"kpq-lint: cannot read {rel}: {e}")
+            return 2
+        digest = _sha1(text)
+        cached = cache.get(rel, digest)
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        file_findings = analyze_file(rel, text, cfg)
+        cache.put(rel, digest, file_findings)
+        findings.extend(file_findings)
+
+    frontend = "token"
+    if not args.no_libclang:
+        from . import clang_frontend
+
+        if clang_frontend.available():
+            frontend = "libclang+token"
+            extra = _run_libclang(repo, build_dir, files, cfg)
+            known = {(f.path, f.line, f.col) for f in findings}
+            findings.extend(
+                f for f in extra if (f.path, f.line, f.col) not in known
+            )
+
+    cache.save()
+
+    entries: List[dict] = []
+    if os.path.isfile(baseline_path):
+        try:
+            entries = baseline_mod.load(baseline_path)
+        except (baseline_mod.BaselineError, OSError, ValueError) as e:
+            _eprint(f"kpq-lint: {e}")
+            return 2
+    remaining, stale = baseline_mod.apply(findings, entries)
+    remaining.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    result = RunResult(
+        findings=remaining,
+        files_scanned=len(files),
+        files_from_cache=cache.hits,
+        frontend=frontend,
+    )
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "version": __version__,
+                    "frontend": frontend,
+                    "files_scanned": result.files_scanned,
+                    "files_from_cache": result.files_from_cache,
+                    "findings": [f.to_json() for f in remaining],
+                    "stale_baseline": stale,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for f in remaining:
+            print(f.render())
+        if stale and not args.allow_stale:
+            print(baseline_mod.render_stale(stale))
+        per_rule: Dict[str, int] = {}
+        for f in remaining:
+            per_rule[f.rule] = per_rule.get(f.rule, 0) + 1
+        summary = ", ".join(
+            f"{r}: {per_rule[r]}" for r in sorted(per_rule)
+        ) or "clean"
+        _eprint(
+            f"kpq-lint: {len(remaining)} finding(s) [{summary}] over "
+            f"{result.files_scanned} files "
+            f"({result.files_from_cache} cached, frontend={frontend}, "
+            f"{len(entries)} baseline entries, {len(stale)} stale)"
+        )
+
+    if remaining:
+        return 1
+    if stale and not args.allow_stale:
+        return 1
+    return 0
+
+
+def _run_libclang(
+    repo: str, build_dir: str, files: List[str], cfg: Config
+) -> List[Finding]:
+    from . import clang_frontend
+
+    cc_path = os.path.join(build_dir, "compile_commands.json")
+    out: List[Finding] = []
+    if not os.path.isfile(cc_path):
+        return out
+    with open(cc_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    wanted = set(files)
+    for entry in entries:
+        src = entry.get("file", "")
+        rel = os.path.relpath(
+            os.path.realpath(src), os.path.realpath(repo)
+        ).replace(os.sep, "/")
+        if rel not in wanted:
+            continue
+        raw_args = entry.get("arguments") or entry.get("command", "").split()
+        # Drop the compiler, -c/-o pairs; keep -I/-D/-std flags for the parse.
+        args = [
+            a
+            for a in raw_args[1:]
+            if a.startswith(("-I", "-D", "-std", "-isystem", "-f"))
+        ]
+        tu_findings = clang_frontend.analyze_tu(src, args, repo, cfg)
+        if tu_findings:
+            out.extend(tu_findings)
+    return out
+
+
+def main() -> None:
+    sys.exit(run(sys.argv[1:]))

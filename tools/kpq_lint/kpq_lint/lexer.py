@@ -1,0 +1,175 @@
+"""A small C++ lexer: good enough to reason about token adjacency.
+
+Not a preprocessor and not a parser. It understands line/block comments,
+character/string literals (including raw strings), and splits everything
+else into identifier / number / punctuation tokens with line:col positions.
+Comments are not tokens; they are collected per-line so rules can look up
+`kpq-*:` annotations next to an access.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+# Longest-match punctuation table (C++ operators the rules care to keep
+# whole; anything else falls through as single characters).
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = (
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+)
+
+IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$"
+)
+IDENT_CONT = IDENT_START | frozenset("0123456789")
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "number" | "punct" | "string" | "char"
+    text: str
+    line: int  # 1-based
+    col: int   # 1-based
+
+
+class LexedFile:
+    """Token stream plus the per-line comment map for one source file."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.lines = text.splitlines()
+        self.tokens: List[Token] = []
+        # line -> concatenated comment text starting on that line.
+        self.comments: Dict[int, str] = {}
+        self._lex(text)
+
+    # -- comment-adjacency helpers -------------------------------------
+
+    def comment_for(self, line: int, lookback: int = 4) -> str:
+        """Comment text attached to `line`: the trailing comment on the line
+        itself plus any run of immediately preceding comment-only lines
+        (up to `lookback`). This is where `kpq-*:` annotations may live."""
+        parts = []
+        probe = line - 1
+        steps = 0
+        while probe >= 1 and steps < lookback and self._comment_only(probe):
+            parts.insert(0, self.comments.get(probe, ""))
+            probe -= 1
+            steps += 1
+        if line in self.comments:
+            parts.append(self.comments[line])
+        return "\n".join(parts)
+
+    def _comment_only(self, line: int) -> bool:
+        if line not in self.comments:
+            return False
+        return not any(t.line == line for t in self.tokens)
+
+    # -- the lexer ------------------------------------------------------
+
+    def _add_comment(self, line: int, text: str) -> None:
+        if line in self.comments:
+            self.comments[line] += "\n" + text
+        else:
+            self.comments[line] = text
+
+    def _lex(self, text: str) -> None:  # kpq-lint itself is not linted :)
+        i, n = 0, len(text)
+        line, col = 1, 1
+        toks = self.tokens
+
+        def advance(k: int) -> None:
+            nonlocal i, line, col
+            for _ in range(k):
+                if i < n and text[i] == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                i += 1
+
+        while i < n:
+            c = text[i]
+            if c in " \t\r\n":
+                advance(1)
+                continue
+            # Line comment.
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                start = i
+                start_line = line
+                while i < n and text[i] != "\n":
+                    advance(1)
+                self._add_comment(start_line, text[start:i])
+                continue
+            # Block comment (attached to each line it spans).
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                start = i
+                start_line = line
+                advance(2)
+                while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                    advance(1)
+                advance(2 if i + 1 < n else n - i)
+                for ln, chunk in enumerate(text[start:i].split("\n")):
+                    self._add_comment(start_line + ln, chunk)
+                continue
+            # Raw string literal R"delim( ... )delim".
+            if c == "R" and i + 1 < n and text[i + 1] == '"':
+                j = i + 2
+                while j < n and text[j] not in '("':
+                    j += 1
+                delim = text[i + 2 : j]
+                closer = ")" + delim + '"'
+                end = text.find(closer, j)
+                end = (end + len(closer)) if end != -1 else n
+                toks.append(Token("string", text[i:end], line, col))
+                advance(end - i)
+                continue
+            # String / char literal.
+            if c in "\"'":
+                quote = c
+                start = i
+                start_line, start_col = line, col
+                advance(1)
+                while i < n and text[i] != quote:
+                    advance(2 if text[i] == "\\" else 1)
+                advance(1)
+                toks.append(
+                    Token(
+                        "string" if quote == '"' else "char",
+                        text[start:i],
+                        start_line,
+                        start_col,
+                    )
+                )
+                continue
+            # Identifier / keyword.
+            if c in IDENT_START:
+                start = i
+                start_col = col
+                while i < n and text[i] in IDENT_CONT:
+                    advance(1)
+                toks.append(Token("ident", text[start:i], line, start_col))
+                continue
+            # Number (coarse: consumes digit/alpha/dot/quote-separator runs).
+            if c.isdigit():
+                start = i
+                start_col = col
+                while i < n and (text[i] in IDENT_CONT or text[i] in ".'"):
+                    advance(1)
+                toks.append(Token("number", text[start:i], line, start_col))
+                continue
+            # Punctuation, longest match first.
+            matched = None
+            for table in (_PUNCT3, _PUNCT2):
+                for p in table:
+                    if text.startswith(p, i):
+                        matched = p
+                        break
+                if matched:
+                    break
+            if matched is None:
+                matched = c
+            toks.append(Token("punct", matched, line, col))
+            advance(len(matched))

@@ -1,0 +1,38 @@
+// R1 violation fixtures. Each `kpq-expect: <rule>` marker names the rule(s)
+// the linter must report on that line; the test harness diffs markers
+// against actual findings. These files are lint fixtures only — they are
+// never compiled.
+#pragma once
+
+namespace fix {
+
+struct r1_bad {
+  std::atomic<int> counter_{0};
+
+  int silent_seq_cst() {
+    return counter_.load();  // kpq-expect: R1
+  }
+
+  void operator_increment() {
+    counter_++;  // kpq-expect: R1
+  }
+
+  void operator_assign() {
+    counter_ = 7;  // kpq-expect: R1
+  }
+
+  int missing_annotation() {
+    return counter_.load(std::memory_order_relaxed);  // kpq-expect: R1
+  }
+
+  void mismatched_annotation() {
+    // kpq-order: acquire pairs-with a site the code does not match
+    counter_.store(1, std::memory_order_relaxed);  // kpq-expect: R1
+  }
+
+  void silent_fence() {
+    std::atomic_thread_fence(no_order_here());  // kpq-expect: R1
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,40 @@
+// R1 clean counterexamples: every shape here must produce zero findings.
+#pragma once
+
+namespace fix {
+
+struct r1_clean {
+  std::atomic<int> counter_{0};
+  std::atomic<long> total_{0};
+
+  int explicit_seq_cst() {
+    return counter_.load(std::memory_order_seq_cst);
+  }
+
+  int justified_relaxed() {
+    // kpq-order: relaxed pairs-with none (statistics counter)
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+  void justified_trailing() {
+    // kpq-order: release pairs-with the acquire load in justified_scoped
+    counter_.store(1, std::memory_order_release);
+  }
+
+  int justified_scoped_enum() {
+    // kpq-order: acquire pairs-with the release store in justified_trailing
+    return counter_.load(std::memory_order::acquire);
+  }
+
+  long shadowed_local() {
+    long total_ = 0;  // declaration shadows the atomic member
+    total_ += 1;      // operates on the local, not the atomic
+    return total_;
+  }
+
+  void fence_with_order() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,45 @@
+// R2 violation fixtures: blocking constructs and unbounded loops in a
+// wait-free hot-path directory (the harness analyzes this file under a
+// src/core/ path).
+#pragma once
+
+namespace fix {
+
+struct r2_bad {
+  void unbounded_for() {
+    for (;;) {  // kpq-expect: R2
+    }
+  }
+
+  void unbounded_while() {
+    while (true) {  // kpq-expect: R2
+    }
+  }
+
+  void unbounded_while_one() {
+    while (1) {  // kpq-expect: R2
+    }
+  }
+
+  void locks() {
+    std::mutex m;  // kpq-expect: R2
+    std::lock_guard<std::mutex> g(m);  // kpq-expect: R2 R2
+  }
+
+  void naps() {
+    std::this_thread::sleep_for(ten_ms());  // kpq-expect: R2
+  }
+
+  template <typename Cv, typename Lk>
+  void waits(Cv& cv, Lk& lk) {
+    cv.wait(lk);  // kpq-expect: R2
+  }
+
+  template <typename Hub, typename Lk>
+  void parks(Hub& hub, Lk& lk) {
+    thread_parker p;  // kpq-expect: R2
+    p.park(hub, lk);  // kpq-expect: R2
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,44 @@
+// R2 clean counterexamples (analyzed under a src/core/ path): bounded
+// loops, justified unbounded loops, and justified sanctioned blocking.
+#pragma once
+
+namespace fix {
+
+struct r2_clean {
+  void bounded_for(int n) {
+    for (int i = 0; i < n; ++i) {
+      step(i);
+    }
+  }
+
+  void justified_loop() {
+    // kpq-bound: every iteration observes a CAS by another thread, so an
+    // iteration that repeats implies global progress (lock-free helping)
+    for (;;) {
+      if (try_once()) return;
+    }
+  }
+
+  void justified_while() {
+    // kpq-bound: retries are bounded by max_tries_ceiling (clamped knob)
+    while (true) {
+      if (try_once()) return;
+    }
+  }
+
+  template <typename Hub, typename Lk>
+  void sanctioned_park(Hub& hub, Lk& lk) {
+    // kpq-block: fixture for the sanctioned blocking-facade annotation
+    thread_parker p;
+    // kpq-block: sanctioned blocking facade (see above)
+    p.park(hub, lk);
+  }
+
+  template <typename Cv, typename Lk>
+  void sanctioned_wait(Cv& cv, Lk& lk) {
+    // kpq-block: drain() is a shutdown-only path, never an operation
+    cv.wait(lk);
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,31 @@
+// R3 violation fixtures (analyzed under a src/core/ path): raw pointers
+// loaded from shared atomics dereferenced without hazard protection.
+#pragma once
+
+namespace fix {
+
+struct node {
+  std::atomic<node*> next{nullptr};
+  int value = 0;
+};
+
+struct r3_bad {
+  std::atomic<node*> head_{nullptr};
+
+  int direct_deref() {
+    return head_.load(std::memory_order_seq_cst)->value;  // kpq-expect: R3
+  }
+
+  int tracked_deref() {
+    node* p = head_.load(std::memory_order_seq_cst);
+    return p->value;  // kpq-expect: R3
+  }
+
+  int reassignment_rhs_deref() {
+    node* p = head_.load(std::memory_order_seq_cst);
+    p = p->next.load(std::memory_order_seq_cst);  // kpq-expect: R3
+    return p == nullptr ? 0 : 1;
+  }
+};
+
+}  // namespace fix

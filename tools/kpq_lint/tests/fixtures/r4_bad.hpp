@@ -1,0 +1,26 @@
+// R4 violation fixtures (analyzed under a src/async/ path): locks held
+// across a coroutine suspend or resume boundary.
+#pragma once
+
+namespace fix {
+
+struct r4_bad {
+  task lock_across_await() {
+    std::unique_lock<std::mutex> lk(m_);
+    co_await ready();  // kpq-expect: R4
+  }
+
+  template <typename Handle>
+  void resume_under_lock(Handle h) {
+    auto lk = hub_.lock();
+    h.resume();  // kpq-expect: R4
+  }
+
+  template <typename Handle>
+  void destroy_under_lock(Handle h) {
+    std::scoped_lock<std::mutex> guard(m_);
+    h.destroy();  // kpq-expect: R4
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,47 @@
+// R4 clean counterexamples (analyzed under a src/async/ path): the
+// two-phase notify shape, explicit unlock, ownership move, and the
+// `lock()` accessor that must not register as a lock variable.
+#pragma once
+
+namespace fix {
+
+struct r4_clean {
+  // A method NAMED lock returning a lock is a function declaration, not a
+  // lock acquisition.
+  std::unique_lock<std::mutex> lock() const {
+    return std::unique_lock<std::mutex>(m_);
+  }
+
+  template <typename Handle>
+  void two_phase(Handle h) {
+    waiter* fire = nullptr;
+    {
+      auto lk = hub_.lock();
+      fire = collect_under_lock();
+    }  // lock scope closed before firing
+    h.resume();
+  }
+
+  template <typename Handle>
+  void explicit_unlock(Handle h) {
+    auto lk = hub_.lock();
+    lk.unlock();
+    h.resume();
+  }
+
+  template <typename Handle>
+  void moved_out(Handle h) {
+    auto lk = hub_.lock();
+    hub_.notify_all(std::move(lk));  // ownership left this frame
+    h.resume();
+  }
+
+  task justified_await() {
+    std::unique_lock<std::mutex> lk(m_);
+    // kpq-hub-ok: fixture — this awaitable completes synchronously and
+    // never suspends the frame
+    co_await ready_inline();
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,130 @@
+"""Baseline semantics: suppression by fingerprint, the shrink-only rule
+(stale entries are errors), and entry validation."""
+
+import json
+import os
+import tempfile
+import unittest
+
+from kpq_lint import baseline
+from kpq_lint.model import Config
+from kpq_lint.rules import analyze_file
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def bad_findings():
+    with open(os.path.join(FIXTURES, "r1_bad.hpp"), encoding="utf-8") as f:
+        text = f.read()
+    return analyze_file("src/core/r1_bad.hpp", text, Config())
+
+
+def entry_for(finding, justification="fixture suppression"):
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "fingerprint": finding.fingerprint,
+        "count": 1,
+        "justification": justification,
+    }
+
+
+class ApplyTests(unittest.TestCase):
+    def test_full_suppression(self):
+        findings = bad_findings()
+        self.assertTrue(findings)
+        entries = [entry_for(f) for f in findings]
+        remaining, stale = baseline.apply(findings, entries)
+        self.assertEqual(remaining, [])
+        self.assertEqual(stale, [])
+
+    def test_partial_suppression(self):
+        findings = bad_findings()
+        entries = [entry_for(findings[0])]
+        remaining, stale = baseline.apply(findings, entries)
+        self.assertEqual(len(remaining), len(findings) - 1)
+        self.assertEqual(stale, [])
+
+    def test_stale_entry_detected(self):
+        findings = bad_findings()
+        ghost = {
+            "rule": "R2",
+            "path": "src/core/gone.hpp",
+            "fingerprint": "0" * 16,
+            "count": 1,
+            "justification": "suppresses a finding that no longer fires",
+        }
+        remaining, stale = baseline.apply(findings, [ghost])
+        self.assertEqual(len(remaining), len(findings))
+        self.assertEqual(stale, [ghost])
+
+    def test_count_budget(self):
+        findings = bad_findings()
+        # Two identical findings would share a fingerprint; here each is
+        # unique, so a count of 2 still only suppresses one occurrence.
+        entries = [dict(entry_for(findings[0]), count=2)]
+        remaining, _ = baseline.apply(findings, entries)
+        self.assertEqual(len(remaining), len(findings) - 1)
+
+
+class LoadTests(unittest.TestCase):
+    def write(self, data):
+        fd, path = tempfile.mkstemp(suffix=".json")
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(data, f)
+        self.addCleanup(os.unlink, path)
+        return path
+
+    def test_load_valid(self):
+        path = self.write(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "rule": "R1",
+                        "path": "src/x.hpp",
+                        "fingerprint": "ab" * 8,
+                        "justification": "because",
+                    }
+                ],
+            }
+        )
+        entries = baseline.load(path)
+        self.assertEqual(entries[0]["count"], 1)
+
+    def test_load_rejects_missing_justification(self):
+        path = self.write(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "rule": "R1",
+                        "path": "src/x.hpp",
+                        "fingerprint": "ab" * 8,
+                    }
+                ],
+            }
+        )
+        with self.assertRaises(baseline.BaselineError):
+            baseline.load(path)
+
+    def test_load_rejects_unknown_version(self):
+        path = self.write({"version": 2, "entries": []})
+        with self.assertRaises(baseline.BaselineError):
+            baseline.load(path)
+
+    def test_checked_in_baseline_is_valid_and_empty(self):
+        repo_baseline = os.path.join(
+            os.path.dirname(__file__), "..", "baseline.json"
+        )
+        entries = baseline.load(repo_baseline)
+        self.assertEqual(
+            entries,
+            [],
+            "the checked-in baseline must stay empty: annotate or fix "
+            "findings instead of suppressing them",
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()

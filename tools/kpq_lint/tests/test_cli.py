@@ -1,0 +1,192 @@
+"""End-to-end CLI tests over a synthetic repo assembled from fixtures:
+exit codes, JSON output, baseline enforcement (including shrink-only), and
+the parse cache."""
+
+import contextlib
+import io
+import json
+import os
+import shutil
+import tempfile
+import unittest
+
+from kpq_lint import cli
+from kpq_lint.model import Config
+from kpq_lint.rules import analyze_file
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+class CliHarness(unittest.TestCase):
+    def setUp(self):
+        self.repo = tempfile.mkdtemp(prefix="kpq_lint_test_")
+        self.addCleanup(shutil.rmtree, self.repo, ignore_errors=True)
+        os.makedirs(os.path.join(self.repo, "src", "core"))
+        os.makedirs(os.path.join(self.repo, "tools", "kpq_lint"))
+        self.write_baseline({"version": 1, "entries": []})
+
+    def add_fixture(self, name, rel):
+        dst = os.path.join(self.repo, rel)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        shutil.copyfile(os.path.join(FIXTURES, name), dst)
+
+    def write_baseline(self, data):
+        with open(
+            os.path.join(self.repo, "tools", "kpq_lint", "baseline.json"),
+            "w",
+            encoding="utf-8",
+        ) as f:
+            json.dump(data, f)
+
+    def run_cli(self, *extra):
+        argv = ["--repo", self.repo, "--no-libclang", *extra]
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = cli.run(argv)
+        return code, out.getvalue(), err.getvalue()
+
+    def fingerprints(self, name, rel):
+        with open(os.path.join(FIXTURES, name), encoding="utf-8") as f:
+            text = f.read()
+        return [f_.fingerprint for f_ in analyze_file(rel, text, Config())]
+
+
+class ExitCodeTests(CliHarness):
+    def test_clean_tree_exits_zero(self):
+        self.add_fixture("r1_clean.hpp", "src/core/r1_clean.hpp")
+        code, out, err = self.run_cli()
+        self.assertEqual(code, 0, err)
+        self.assertIn("clean", err)
+
+    def test_violations_exit_one(self):
+        self.add_fixture("r1_bad.hpp", "src/core/r1_bad.hpp")
+        code, out, _ = self.run_cli()
+        self.assertEqual(code, 1)
+        self.assertIn("[R1]", out)
+        self.assertIn("fix-it:", out)
+
+    def test_empty_repo_exits_two(self):
+        code, _, err = self.run_cli()
+        self.assertEqual(code, 2)
+        self.assertIn("nothing to analyze", err)
+
+    def test_missing_explicit_file_exits_two(self):
+        code, _, _ = self.run_cli("src/core/absent.hpp")
+        self.assertEqual(code, 2)
+
+
+class BaselineCliTests(CliHarness):
+    def test_baselined_findings_pass(self):
+        self.add_fixture("r1_bad.hpp", "src/core/r1_bad.hpp")
+        fps = self.fingerprints("r1_bad.hpp", "src/core/r1_bad.hpp")
+        self.write_baseline(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "rule": "R1",
+                        "path": "src/core/r1_bad.hpp",
+                        "fingerprint": fp,
+                        "count": 1,
+                        "justification": "fixture",
+                    }
+                    for fp in fps
+                ],
+            }
+        )
+        code, _, err = self.run_cli()
+        self.assertEqual(code, 0, err)
+
+    def test_stale_entry_fails_shrink_only(self):
+        self.add_fixture("r1_clean.hpp", "src/core/r1_clean.hpp")
+        self.write_baseline(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "rule": "R1",
+                        "path": "src/core/gone.hpp",
+                        "fingerprint": "0" * 16,
+                        "count": 1,
+                        "justification": "no longer fires",
+                    }
+                ],
+            }
+        )
+        code, out, _ = self.run_cli()
+        self.assertEqual(code, 1)
+        self.assertIn("stale", out)
+
+    def test_allow_stale_downgrades(self):
+        self.add_fixture("r1_clean.hpp", "src/core/r1_clean.hpp")
+        self.write_baseline(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "rule": "R1",
+                        "path": "src/core/gone.hpp",
+                        "fingerprint": "0" * 16,
+                        "count": 1,
+                        "justification": "no longer fires",
+                    }
+                ],
+            }
+        )
+        code, _, _ = self.run_cli("--allow-stale")
+        self.assertEqual(code, 0)
+
+    def test_invalid_baseline_exits_two(self):
+        self.add_fixture("r1_clean.hpp", "src/core/r1_clean.hpp")
+        self.write_baseline({"version": 1, "entries": [{"rule": "R1"}]})
+        code, _, err = self.run_cli()
+        self.assertEqual(code, 2)
+        self.assertIn("justification", err)
+
+
+class OutputAndCacheTests(CliHarness):
+    def test_json_format(self):
+        self.add_fixture("r1_bad.hpp", "src/core/r1_bad.hpp")
+        code, out, _ = self.run_cli("--format", "json")
+        self.assertEqual(code, 1)
+        doc = json.loads(out)
+        self.assertTrue(doc["findings"])
+        for f in doc["findings"]:
+            self.assertEqual(
+                sorted(f)
+                if "fixit" not in f
+                else sorted(k for k in f if k != "fixit"),
+                ["col", "fingerprint", "line", "message", "path", "rule"],
+            )
+
+    def test_cache_hits_on_second_run(self):
+        self.add_fixture("r1_clean.hpp", "src/core/r1_clean.hpp")
+        build = os.path.join(self.repo, "build")
+        code, _, err = self.run_cli("--build-dir", build)
+        self.assertEqual(code, 0, err)
+        self.assertIn("(0 cached", err)
+        code, _, err = self.run_cli("--build-dir", build)
+        self.assertEqual(code, 0, err)
+        self.assertIn("(1 cached", err)
+
+    def test_cache_invalidated_by_edit(self):
+        self.add_fixture("r1_clean.hpp", "src/core/r1_clean.hpp")
+        build = os.path.join(self.repo, "build")
+        self.run_cli("--build-dir", build)
+        target = os.path.join(self.repo, "src", "core", "r1_clean.hpp")
+        with open(target, "a", encoding="utf-8") as f:
+            f.write("\nint touched;\n")
+        code, _, err = self.run_cli("--build-dir", build)
+        self.assertEqual(code, 0, err)
+        self.assertIn("(0 cached", err)
+
+    def test_explicit_path_restriction(self):
+        self.add_fixture("r1_bad.hpp", "src/core/r1_bad.hpp")
+        self.add_fixture("r1_clean.hpp", "src/core/r1_clean.hpp")
+        code, out, _ = self.run_cli("src/core/r1_clean.hpp")
+        self.assertEqual(code, 0)
+        self.assertNotIn("r1_bad", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,148 @@
+"""Fixture-driven rule tests.
+
+Each fixture under fixtures/ seeds violations marked with trailing
+`// kpq-expect: <rule> [<rule>...]` comments (or is a clean counterexample
+with no markers). The harness runs the analyzer over the fixture under the
+directory that activates the rule and diffs actual (line, rule) findings
+against the markers — so a rule that stops firing OR starts over-firing
+fails the suite.
+"""
+
+import os
+import re
+import unittest
+
+from kpq_lint.model import Config
+from kpq_lint.rules import analyze_file
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+EXPECT_RE = re.compile(r"kpq-expect:\s*([A-Z0-9 ]+?)\s*$")
+
+
+def load(name):
+    with open(os.path.join(FIXTURES, name), encoding="utf-8") as f:
+        return f.read()
+
+
+def markers(text):
+    out = []
+    for ln, line in enumerate(text.splitlines(), 1):
+        m = EXPECT_RE.search(line)
+        if m:
+            out.extend((ln, rule) for rule in m.group(1).split())
+    return sorted(out)
+
+
+def findings_for(name, as_path):
+    text = load(name)
+    got = sorted(
+        (f.line, f.rule) for f in analyze_file(as_path, text, Config())
+    )
+    return got, markers(text)
+
+
+class FixtureTests(unittest.TestCase):
+    def check(self, name, as_path):
+        got, want = findings_for(name, as_path)
+        self.assertEqual(
+            got,
+            want,
+            f"{name} (as {as_path}): findings disagree with kpq-expect "
+            "markers",
+        )
+
+    def test_r1_bad(self):
+        self.check("r1_bad.hpp", "src/core/r1_bad.hpp")
+
+    def test_r1_clean(self):
+        self.check("r1_clean.hpp", "src/core/r1_clean.hpp")
+
+    def test_r2_bad(self):
+        self.check("r2_bad.hpp", "src/core/r2_bad.hpp")
+
+    def test_r2_clean(self):
+        self.check("r2_clean.hpp", "src/core/r2_clean.hpp")
+
+    def test_r3_bad(self):
+        self.check("r3_bad.hpp", "src/core/r3_bad.hpp")
+
+    def test_r3_clean(self):
+        self.check("r3_clean.hpp", "src/core/r3_clean.hpp")
+
+    def test_r4_bad(self):
+        self.check("r4_bad.hpp", "src/async/r4_bad.hpp")
+
+    def test_r4_clean(self):
+        self.check("r4_clean.hpp", "src/async/r4_clean.hpp")
+
+
+class DirGatingTests(unittest.TestCase):
+    def test_r2_inactive_in_sync(self):
+        """src/sync is the sanctioned blocking layer: R2 must not fire."""
+        text = load("r2_bad.hpp")
+        findings = analyze_file("src/sync/r2_bad.hpp", text, Config())
+        self.assertEqual([f for f in findings if f.rule == "R2"], [])
+
+    def test_r3_inactive_outside_hazard_dirs(self):
+        text = load("r3_bad.hpp")
+        findings = analyze_file("src/obs/r3_bad.hpp", text, Config())
+        self.assertEqual([f for f in findings if f.rule == "R3"], [])
+
+    def test_nothing_fires_outside_src(self):
+        for name in ("r1_bad.hpp", "r2_bad.hpp", "r3_bad.hpp", "r4_bad.hpp"):
+            findings = analyze_file(f"tests/{name}", load(name), Config())
+            self.assertEqual(findings, [], name)
+
+
+class ShapeTests(unittest.TestCase):
+    """Targeted shapes that burned us while linting the real tree."""
+
+    def test_subscripted_receiver(self):
+        text = (
+            "struct s {\n"
+            "  void f(int i) {\n"
+            "    state_[i]->store(nullptr, std::memory_order_relaxed);\n"
+            "  }\n"
+            "};\n"
+        )
+        findings = analyze_file("src/core/x.hpp", text, Config())
+        self.assertEqual([(f.line, f.rule) for f in findings], [(3, "R1")])
+
+    def test_subscripted_receiver_annotated(self):
+        text = (
+            "struct s {\n"
+            "  void f(int i) {\n"
+            "    // kpq-order: relaxed pairs-with the ctor fence\n"
+            "    state_[i]->store(nullptr, std::memory_order_relaxed);\n"
+            "  }\n"
+            "};\n"
+        )
+        self.assertEqual(analyze_file("src/core/x.hpp", text, Config()), [])
+
+    def test_annotation_on_wrapped_order_line(self):
+        """The order argument may sit on a later line than the method; the
+        annotation is accepted next to either."""
+        text = (
+            "void f() {\n"
+            "  long phase =\n"
+            "      // kpq-order: acq_rel pairs-with the peer fetch_adds\n"
+            "      counter_->fetch_add(1, std::memory_order_acq_rel);\n"
+            "}\n"
+        )
+        self.assertEqual(analyze_file("src/core/x.hpp", text, Config()), [])
+
+    def test_known_ptr_atomic_from_other_header(self):
+        """head_ is configured as a shared node source even when its
+        declaration lives in another file."""
+        text = (
+            "int f() {\n"
+            "  node* p = head_.load(std::memory_order_seq_cst);\n"
+            "  return p->value;\n"
+            "}\n"
+        )
+        findings = analyze_file("src/core/x.hpp", text, Config())
+        self.assertEqual([(f.line, f.rule) for f in findings], [(3, "R3")])
+
+
+if __name__ == "__main__":
+    unittest.main()
