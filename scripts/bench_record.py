@@ -79,6 +79,11 @@ FIGS = {
         "record": ["--threads", "4", "--iters", "5000", "--reps", "3"],
         "smoke": ["--threads", "2", "--iters", "1000", "--reps", "2"],
     },
+    "fig_residency": {
+        "bin": "fig_residency",
+        "record": ["--threads", "4", "--iters", "5000", "--reps", "3"],
+        "smoke": ["--threads", "2", "--iters", "1000", "--reps", "2"],
+    },
     # Coroutine front-end broker (gated on KPQ_HAS_COROUTINES at build time;
     # the smoke pass skips it with a warning when the compiler can't build it).
     "fig_broker": {

@@ -130,6 +130,26 @@ struct loop_stats {
   std::uint64_t idle_parks = 0;   // times run() actually slept
   std::uint64_t spawned = 0;
   std::uint64_t completed = 0;
+
+  // Loop-health gauges (obs/registry.hpp event_loop_stats_like): how long
+  // ready work waited before the loop got to it, how late timers fired
+  // versus their deadline, and the deepest the ready queue ever got.
+  std::uint64_t ready_lag_ns_total = 0;   // post() -> batch pickup, summed
+  std::uint64_t ready_lag_ns_max = 0;
+  std::uint64_t timer_slack_ns_total = 0;  // deadline -> fire, summed
+  std::uint64_t timer_slack_ns_max = 0;
+  std::uint64_t max_ready_depth = 0;       // high-water ready-queue length
+
+  double mean_ready_lag_ns() const noexcept {
+    return resumes == 0 ? 0.0
+                        : static_cast<double>(ready_lag_ns_total) /
+                              static_cast<double>(resumes);
+  }
+  double mean_timer_slack_ns() const noexcept {
+    return timer_fires == 0 ? 0.0
+                            : static_cast<double>(timer_slack_ns_total) /
+                                  static_cast<double>(timer_fires);
+  }
 };
 
 class event_loop {
@@ -146,7 +166,10 @@ class event_loop {
   /// coroutine resumption over (coro_waiter.hpp).
   void post(std::coroutine_handle<> h) {
     auto lk = hub_.lock();
-    ready_.push_back(h);
+    ready_.push_back({h, now_ns()});
+    if (ready_.size() > stats_.max_ready_depth) {
+      stats_.max_ready_depth = ready_.size();
+    }
     hub_.notify_one(std::move(lk));
   }
 
@@ -237,7 +260,19 @@ class event_loop {
           stop_ = false;
           return;
         }
-        batch.assign(ready_.begin(), ready_.end());
+        if (!ready_.empty()) {
+          // Ready-queue lag: how long each handle sat between post() and
+          // this pickup (one clock read per batch, not per handle).
+          const std::uint64_t pick = now_ns();
+          for (const ready_item& r : ready_) {
+            const std::uint64_t lag =
+                pick > r.posted_ns ? pick - r.posted_ns : 0;
+            stats_.ready_lag_ns_total += lag;
+            if (lag > stats_.ready_lag_ns_max) stats_.ready_lag_ns_max = lag;
+          }
+        }
+        batch.reserve(ready_.size());
+        for (const ready_item& r : ready_) batch.push_back(r.h);
         ready_.clear();
         stats_.resumes += batch.size();
       }
@@ -246,8 +281,18 @@ class event_loop {
       due.clear();
       {
         auto lk = hub_.lock();
-        wheel_.advance(now_ns(), due);
+        const std::uint64_t now = now_ns();
+        wheel_.advance(now, due);
         stats_.timer_fires += due.size();
+        // Timer-wheel slack: how late past its deadline each entry fired
+        // (advance only hands back entries with deadline <= now).
+        for (const auto& e : due) {
+          const std::uint64_t slack = now - e.deadline_ns;
+          stats_.timer_slack_ns_total += slack;
+          if (slack > stats_.timer_slack_ns_max) {
+            stats_.timer_slack_ns_max = slack;
+          }
+        }
       }
       for (auto& e : due) {
         if (e.cb) {
@@ -325,8 +370,13 @@ class event_loop {
     hub_.notify_one(std::move(lk));  // wake run() to re-evaluate the drain
   }
 
+  struct ready_item {
+    std::coroutine_handle<> h;
+    std::uint64_t posted_ns;  // for the ready-lag gauge
+  };
+
   waiter_hub hub_;  // guards ready_/wheel_/active_/stop_/stats_; idle park
-  std::deque<std::coroutine_handle<>> ready_;
+  std::deque<ready_item> ready_;
   timer_wheel wheel_;
   std::size_t active_ = 0;
   bool stop_ = false;

@@ -23,9 +23,11 @@
 
 namespace kpq {
 
-template <typename T>
+template <typename T, bool Stamped = false>
 class desc_pool {
  public:
+  using desc_type = op_desc<T, Stamped>;
+
   desc_pool(std::uint32_t max_threads, bool enabled,
             const mem_tracked* accounting, std::size_t cache_cap = 64)
       : enabled_(enabled),
@@ -40,29 +42,29 @@ class desc_pool {
 
   /// Construct a descriptor, reusing a cached allocation when possible.
   template <typename... Args>
-  op_desc<T>* make(std::uint32_t tid, Args&&... args) {
+  desc_type* make(std::uint32_t tid, Args&&... args) {
     auto& list = free_[tid]->items;
     if (!list.empty()) {
-      op_desc<T>* d = list.back();
+      desc_type* d = list.back();
       list.pop_back();
-      d->~op_desc<T>();
-      return new (d) op_desc<T>(std::forward<Args>(args)...);
+      d->~desc_type();
+      return new (d) desc_type(std::forward<Args>(args)...);
     }
     // kpq-order: relaxed pairs-with none (statistics counter; read only by
     // the relaxed load in fresh_allocs(), orders no other data)
     fresh_allocs_.fetch_add(1, std::memory_order_relaxed);
-    if (accounting_ != nullptr) accounting_->account_alloc(sizeof(op_desc<T>));
-    return new op_desc<T>(std::forward<Args>(args)...);
+    if (accounting_ != nullptr) accounting_->account_alloc(sizeof(desc_type));
+    return new desc_type(std::forward<Args>(args)...);
   }
 
   /// Return a never-published descriptor for reuse. Cached descriptors stay
   /// "live" in the accounting (they occupy heap).
-  void recycle(std::uint32_t tid, op_desc<T>* d) noexcept {
+  void recycle(std::uint32_t tid, desc_type* d) noexcept {
     auto& list = free_[tid]->items;
     if (enabled_ && list.size() < cache_cap_) {
       list.push_back(d);
     } else {
-      if (accounting_ != nullptr) accounting_->account_free(sizeof(op_desc<T>));
+      if (accounting_ != nullptr) accounting_->account_free(sizeof(desc_type));
       delete d;
     }
   }
@@ -70,9 +72,9 @@ class desc_pool {
   /// Delete all cached descriptors (destructor path).
   void purge() noexcept {
     for (auto& f : free_) {
-      for (op_desc<T>* d : f->items) {
+      for (desc_type* d : f->items) {
         if (accounting_ != nullptr) {
-          accounting_->account_free(sizeof(op_desc<T>));
+          accounting_->account_free(sizeof(desc_type));
         }
         delete d;
       }
@@ -90,7 +92,7 @@ class desc_pool {
 
  private:
   struct free_list {
-    std::vector<op_desc<T>*> items;
+    std::vector<desc_type*> items;
   };
 
   bool enabled_;

@@ -52,6 +52,7 @@
 #include "core/op_desc.hpp"
 #include "core/phase_policy.hpp"
 #include "harness/mem_tracker.hpp"
+#include "obs/residency.hpp"
 #include "obs/trace_ring.hpp"
 #include "reclaim/hazard_pointers.hpp"
 #include "reclaim/reclaimer_concepts.hpp"
@@ -87,6 +88,13 @@ struct wf_options {
   /// hook-free build. The fig_obs_overhead bench overrides this per-type
   /// (wf_options_traced) to compare traced vs untraced in one binary.
   using trace = obs::default_trace;
+  /// Item-residency policy (obs/residency.hpp). With the default
+  /// `no_residency` the node/descriptor stamp field does not exist and every
+  /// residency hook folds away — the node keeps the paper's 24-byte shape.
+  /// `wf_options_residency` flips it to tick_residency: the enqueuer stamps
+  /// the node pre-publication and the completing dequeue records
+  /// now - stamp into a per-thread log2 histogram (residency_histogram()).
+  using residency = obs::no_residency;
   /// Per-thread operation counters (wf_counters); zero-cost when off.
   static constexpr bool collect_stats = false;
   /// Enhancement 1: cache descriptors whose installing CAS failed.
@@ -117,6 +125,10 @@ struct wf_options_stats : wf_options {
 /// Tracing forced on regardless of KPQ_TRACE (for overhead comparisons).
 struct wf_options_traced : wf_options {
   using trace = obs::ring_trace;
+};
+/// Item-residency tracking on (stamped nodes/descriptors + histograms).
+struct wf_options_residency : wf_options {
+  using residency = obs::tick_residency;
 };
 
 /// Per-thread operation counters (collected when Options::collect_stats).
@@ -151,7 +163,8 @@ struct wf_counters {
 template <typename T, typename HelpPolicy = help_all,
           typename PhasePolicy = scan_max_phase, typename Reclaimer = hp_domain,
           typename Options = wf_options,
-          typename Storage = heap_node_storage<T>>
+          typename Storage = heap_node_storage<
+              T, wf_node<T, obs::residency_policy_t<Options>::enabled>>>
 class wf_queue : public mem_tracked {
   static_assert(std::is_default_constructible_v<T>,
                 "op_desc carries a T payload slot");
@@ -162,12 +175,21 @@ class wf_queue : public mem_tracked {
                 "(storage/storage_concepts.hpp)");
 
  public:
+  /// Residency policy from the Options (structural: absent member means
+  /// no_residency, so pre-existing options structs keep compiling).
+  using residency_type = obs::residency_policy_t<Options>;
+  static constexpr bool track_residency = residency_type::enabled;
+
   using value_type = T;
-  using node_type = wf_node<T>;
-  using desc_type = op_desc<T>;
+  using node_type = wf_node<T, track_residency>;
+  using desc_type = op_desc<T, track_residency>;
   using reclaimer_type = Reclaimer;
   using storage_type = Storage;
   using help_policy_type = HelpPolicy;
+  static_assert(std::is_same_v<typename Storage::node_type, node_type>,
+                "Storage must be instantiated with the queue's node type — "
+                "when residency is enabled the node carries the stamp, e.g. "
+                "heap_node_storage<T, wf_node<T, true>>");
   /// The recorder policy, re-exported so the help policies (templated on
   /// the queue, not the options) can hit the same sink.
   using trace_type = typename Options::trace;
@@ -198,7 +220,8 @@ class wf_queue : public mem_tracked {
         help_(max_threads),
         phase_(max_threads),
         state_(max_threads),
-        stats_(Options::collect_stats ? max_threads : 0) {
+        stats_(Options::collect_stats ? max_threads : 0),
+        resi_(track_residency ? max_threads : 0) {
     set_memory_counters(mc);
     node_type* sentinel = alloc_node(0, T{}, no_tid);  // paper line 28
     // kpq-order: relaxed pairs-with the ctor-exit seq_cst fence below —
@@ -253,6 +276,8 @@ class wf_queue : public mem_tracked {
     const std::int64_t phase = phase_.next_phase(*this, g, tid);  // line 62
     node_type* node =
         alloc_node(tid, std::move(value), static_cast<std::int32_t>(tid));
+    // Residency stamp: written once pre-publication, like value/enq_tid.
+    if constexpr (track_residency) node->enq_ts = residency_type::now();
     publish(tid, pool_.make(tid, phase, true, true, node));  // line 63
     if constexpr (Options::collect_stats) ++stats_[tid]->enq_ops;
     if constexpr (trace_type::enabled) {
@@ -288,7 +313,10 @@ class wf_queue : public mem_tracked {
     // by a helper finishing stage 2/3 late, so protect before reading.
     desc_type* d = g.protect(s_desc, state_[tid].get());           // line 103
     std::optional<T> result;
-    if (d->node != nullptr) result = d->value;  // §3.4: payload lives in d
+    if (d->node != nullptr) {
+      result = d->value;  // §3.4: payload lives in d
+      record_residency(tid, *d);
+    }
     if constexpr (Options::collect_stats) {
       if (!result.has_value()) ++stats_[tid]->empty_deqs;
     }
@@ -333,6 +361,7 @@ class wf_queue : public mem_tracked {
     const std::int64_t phase = phase_.next_phase(*this, g, tid);
     for (; first != last; ++first) {
       node_type* node = alloc_node(tid, *first, static_cast<std::int32_t>(tid));
+      if constexpr (track_residency) node->enq_ts = residency_type::now();
       publish(tid, pool_.make(tid, phase, true, true, node));
       if constexpr (Options::collect_stats) ++stats_[tid]->enq_ops;
       if constexpr (trace_type::enabled) {
@@ -368,7 +397,10 @@ class wf_queue : public mem_tracked {
       help_finish_deq(tid, g);
       desc_type* d = g.protect(s_desc, state_[tid].get());
       const bool hit = d->node != nullptr;
-      if (hit) out.push_back(d->value);
+      if (hit) {
+        out.push_back(d->value);
+        record_residency(tid, *d);
+      }
       if constexpr (trace_type::enabled) {
         trace_type::record(tid, obs::trace_kind::deq_complete, phase,
                            hit ? 1 : 0);
@@ -408,7 +440,16 @@ class wf_queue : public mem_tracked {
   reclaimer_type& reclaimer() noexcept { return reclaim_; }
   storage_type& storage() noexcept { return storage_; }
   const storage_type& storage() const noexcept { return storage_; }
-  const desc_pool<T>& descriptor_pool() const noexcept { return pool_; }
+  const desc_pool<T, track_residency>& descriptor_pool() const noexcept {
+    return pool_;
+  }
+
+  /// Merged item-residency histogram in TICKS (obs/calibrate.hpp converts to
+  /// ns). Meaningful only when `track_residency`; scrape-safe while workers
+  /// run — buckets are relaxed atomics, the snapshot is some interleaving.
+  log2_histogram residency_histogram() const { return resi_.merged(); }
+  std::uint64_t residency_samples() const noexcept { return resi_.samples(); }
+  void reset_residency() noexcept { resi_.reset(); }
 
   /// Per-thread counters (meaningful only with Options::collect_stats;
   /// read under quiescence or accept torn snapshots).
@@ -689,6 +730,11 @@ class wf_queue : public mem_tracked {
         // into the descriptor so the caller never revisits these nodes.
         desc_type* fresh =
             pool_.make(my, cur->phase, false, false, cur->node, next->value);
+        // The residency stamp rides along with the payload — copied while
+        // `next` is still pinned, whichever helper completes the op. This is
+        // why helping does not distort residency: the stamp is a property of
+        // the ITEM, carried unchanged to whoever returns it.
+        if constexpr (track_residency) fresh->enq_ts = next->enq_ts;
         const bool won = swap_state(tid, my, cur, fresh);  // line 149 (step 2)
         if constexpr (Options::collect_stats) {
           if (won && tid != my) ++stats_[my]->helped_deq_completions;
@@ -700,6 +746,19 @@ class wf_queue : public mem_tracked {
         // sentinel.
         retire_node(my, first);
       }
+    }
+  }
+
+  /// Residency measurement at dequeue-completion: the stamp was taken at
+  /// enqueue-publish and carried through help_finish_deq into `d`. Clamped
+  /// at zero against cross-core TSC skew (invariant TSC keeps this rare).
+  void record_residency(std::uint32_t tid, const desc_type& d) noexcept {
+    if constexpr (track_residency) {
+      const std::uint64_t now = residency_type::now();
+      resi_.add(tid, now > d.enq_ts ? now - d.enq_ts : 0);
+    } else {
+      (void)tid;
+      (void)d;
     }
   }
 
@@ -717,7 +776,7 @@ class wf_queue : public mem_tracked {
   Storage storage_;  // before reclaim_: reclaimer shutdown drains segment
                      // retirements through callbacks into the storage
   Reclaimer reclaim_;
-  desc_pool<T> pool_;
+  desc_pool<T, track_residency> pool_;
   HelpPolicy help_;
   PhasePolicy phase_;
 
@@ -725,6 +784,7 @@ class wf_queue : public mem_tracked {
   alignas(destructive_interference) std::atomic<node_type*> tail_{nullptr};
   std::vector<padded<state_slot>> state_;  // paper line 26
   std::vector<padded<wf_counters>> stats_;  // empty unless collect_stats
+  obs::residency_probe resi_;  // empty unless track_residency
 };
 
 // ------------------------------------------------------------------ aliases
@@ -742,5 +802,11 @@ template <typename T, typename R = hp_domain>
 using wf_queue_opt2 = wf_queue<T, help_all, fetch_add_phase, R>;
 template <typename T, typename R = hp_domain>
 using wf_queue_opt = wf_queue<T, help_one, fetch_add_phase, R>;
+
+/// opt WF with item-residency tracking compiled in (stamped nodes, per-queue
+/// residency histograms) — the fig_residency bench's "on" variant.
+template <typename T, typename R = hp_domain>
+using wf_queue_opt_residency =
+    wf_queue<T, help_one, fetch_add_phase, R, wf_options_residency>;
 
 }  // namespace kpq

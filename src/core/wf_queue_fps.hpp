@@ -39,6 +39,7 @@
 #include "core/desc_pool.hpp"
 #include "core/op_desc.hpp"
 #include "harness/mem_tracker.hpp"
+#include "obs/residency.hpp"
 #include "reclaim/hazard_pointers.hpp"
 #include "storage/heap_node_storage.hpp"
 #include "storage/storage_concepts.hpp"
@@ -73,6 +74,15 @@ struct fps_options {
   /// and clamps against this, so steps-before-announce <= ceiling always.
   static constexpr std::uint32_t max_tries_ceiling = 64;
   static constexpr bool descriptor_cache = true;
+  /// Item-residency policy (obs/residency.hpp); no_residency keeps the node
+  /// stamp-free. Detected structurally, so pre-existing options structs
+  /// without the member keep compiling (they get no_residency).
+  using residency = obs::no_residency;
+};
+
+/// Item-residency tracking on for the fast-path/slow-path queue.
+struct fps_options_residency : fps_options {
+  using residency = obs::tick_residency;
 };
 
 /// Owner-thread-updated fast/slow path counters (one non-RMW relaxed store
@@ -106,7 +116,8 @@ struct fps_path_stats {
 
 template <typename T, typename Reclaimer = hp_domain,
           typename Options = fps_options,
-          typename Storage = heap_node_storage<T>>
+          typename Storage = heap_node_storage<
+              T, wf_node<T, obs::residency_policy_t<Options>::enabled>>>
 class wf_queue_fps : public mem_tracked {
   static_assert(std::is_default_constructible_v<T>);
   static_assert(std::is_copy_constructible_v<T>);
@@ -117,11 +128,18 @@ class wf_queue_fps : public mem_tracked {
                 "(storage/storage_concepts.hpp)");
 
  public:
+  /// Residency policy from the Options (structural; see obs/residency.hpp).
+  using residency_type = obs::residency_policy_t<Options>;
+  static constexpr bool track_residency = residency_type::enabled;
+
   using value_type = T;
-  using node_type = wf_node<T>;
-  using desc_type = op_desc<T>;
+  using node_type = wf_node<T, track_residency>;
+  using desc_type = op_desc<T, track_residency>;
   using reclaimer_type = Reclaimer;
   using storage_type = Storage;
+  static_assert(std::is_same_v<typename Storage::node_type, node_type>,
+                "Storage must be instantiated with the queue's node type "
+                "(stamped when the residency policy is enabled)");
 
   static constexpr std::uint32_t hp_slots = 5;
   enum slot : std::uint32_t {
@@ -146,7 +164,8 @@ class wf_queue_fps : public mem_tracked {
         pool_(max_threads, Options::descriptor_cache, this),
         cursor_(max_threads),
         path_stats_(max_threads),
-        state_(max_threads) {
+        state_(max_threads),
+        resi_(track_residency ? max_threads : 0) {
     set_memory_counters(mc);
     node_type* sentinel = alloc_node(0, T{}, no_tid);
     // kpq-order: relaxed pairs-with the ctor-exit seq_cst fence below —
@@ -199,6 +218,9 @@ class wf_queue_fps : public mem_tracked {
     // read ONCE per operation and clamped against the compile-time
     // ceiling, so a concurrent set_patience can never unbound this loop.
     node_type* node = alloc_node(tid, std::move(value), no_tid);
+    // Residency stamp: once, pre-publication; the slow path adopts the same
+    // node, so one stamp covers both paths.
+    if constexpr (track_residency) node->enq_ts = residency_type::now();
     const std::uint32_t tries = patience_now();
     for (std::uint32_t attempt = 0; attempt < tries; ++attempt) {
       on_fast_attempt(tid, /*is_enq=*/true);
@@ -262,12 +284,15 @@ class wf_queue_fps : public mem_tracked {
       }
       // `next` is safe to read: first == head implies next not yet retired.
       T value = next->value;
+      std::uint64_t enq_ts = 0;
+      if constexpr (track_residency) enq_ts = next->enq_ts;
       std::int32_t expected = no_tid;
       if (first->deq_tid.compare_exchange_strong(
               expected, fast_claim_base + static_cast<std::int32_t>(tid),
               std::memory_order_seq_cst)) {
         count_path(tid, /*slow=*/false, /*is_enq=*/false);
         help_finish_deq(tid, g);  // swing head; winner retires the sentinel
+        record_residency(tid, enq_ts);
         return value;
       }
       // Someone else (fast or slow) claimed it: finish them, retry.
@@ -286,7 +311,10 @@ class wf_queue_fps : public mem_tracked {
     help_finish_deq(tid, g);
     desc_type* d = g.protect(s_desc, state_[tid].get());
     std::optional<T> result;
-    if (d->node != nullptr) result = d->value;
+    if (d->node != nullptr) {
+      result = d->value;
+      if constexpr (track_residency) record_residency(tid, d->enq_ts);
+    }
     g.clear(s_desc);
     return result;
   }
@@ -344,6 +372,12 @@ class wf_queue_fps : public mem_tracked {
   storage_type& storage() noexcept { return storage_; }
   const storage_type& storage() const noexcept { return storage_; }
 
+  /// Merged item-residency histogram in TICKS (see wf_queue); meaningful
+  /// only when `track_residency`, scrape-safe while workers run.
+  log2_histogram residency_histogram() const { return resi_.merged(); }
+  std::uint64_t residency_samples() const noexcept { return resi_.samples(); }
+  void reset_residency() noexcept { resi_.reset(); }
+
   bool empty_hint(std::uint32_t tid) {
     auto g = reclaim_.enter(tid);
     node_type* first = g.protect(s_first, head_);
@@ -397,6 +431,17 @@ class wf_queue_fps : public mem_tracked {
   }
   void retire_desc(std::uint32_t tid, desc_type* d) {
     reclaim_.retire(tid, d, &retire_desc_fn, memory_counters());
+  }
+
+  /// Dequeue-completion residency measurement (clamped against TSC skew).
+  void record_residency(std::uint32_t tid, std::uint64_t enq_ts) noexcept {
+    if constexpr (track_residency) {
+      const std::uint64_t now = residency_type::now();
+      resi_.add(tid, now > enq_ts ? now - enq_ts : 0);
+    } else {
+      (void)tid;
+      (void)enq_ts;
+    }
   }
 
   // ------------------------------------------------------ patience plumbing
@@ -583,6 +628,8 @@ class wf_queue_fps : public mem_tracked {
     if (first == head_.load(std::memory_order_seq_cst) && next != nullptr) {
       desc_type* fresh =
           pool_.make(my, cur->phase, false, false, cur->node, next->value);
+      // Stamp rides with the payload, copied while `next` is pinned.
+      if constexpr (track_residency) fresh->enq_ts = next->enq_ts;
       swap_state(tid, my, cur, fresh);
       if (head_.compare_exchange_strong(first, next,
                                         std::memory_order_seq_cst)) {
@@ -597,7 +644,7 @@ class wf_queue_fps : public mem_tracked {
   Storage storage_;  // before reclaim_: reclaimer shutdown drains segment
                      // retirements through callbacks into the storage
   Reclaimer reclaim_;
-  desc_pool<T> pool_;
+  desc_pool<T, track_residency> pool_;
   std::vector<padded<std::uint32_t>> cursor_;  // help_someone's cyclic cursor
   padded<std::atomic<std::int64_t>> phase_counter_{std::int64_t{0}};
 
@@ -617,6 +664,7 @@ class wf_queue_fps : public mem_tracked {
   alignas(destructive_interference) std::atomic<node_type*> head_{nullptr};
   alignas(destructive_interference) std::atomic<node_type*> tail_{nullptr};
   std::vector<padded<state_slot>> state_;
+  obs::residency_probe resi_;  // empty unless track_residency
 };
 
 }  // namespace kpq

@@ -128,8 +128,53 @@ inline std::vector<std::pair<std::string, double>> parse_flat_json(
     ++i;
     std::string key;
     while (i < text.size() && text[i] != '"') {
-      if (text[i] == '\\' && i + 1 < text.size()) ++i;  // keep escaped char
-      key += text[i++];
+      if (text[i] == '\\' && i + 1 < text.size()) {
+        // Decode the escapes json_escape() emits (plus the remaining JSON
+        // single-char ones), so escape -> parse round-trips losslessly.
+        const char e = text[i + 1];
+        i += 2;
+        switch (e) {
+          case '"': key += '"'; break;
+          case '\\': key += '\\'; break;
+          case '/': key += '/'; break;
+          case 'n': key += '\n'; break;
+          case 't': key += '\t'; break;
+          case 'r': key += '\r'; break;
+          case 'b': key += '\b'; break;
+          case 'f': key += '\f'; break;
+          case 'u': {
+            if (i + 4 > text.size()) { i = text.size(); break; }
+            unsigned code = 0;
+            bool ok = true;
+            for (std::size_t k = 0; k < 4; ++k) {
+              const char h = text[i + k];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else { ok = false; break; }
+            }
+            if (!ok) break;  // malformed escape: drop it, keep parsing
+            i += 4;
+            // UTF-8-encode the code point (json_escape only emits < 0x20,
+            // but accept the full BMP for robustness).
+            if (code < 0x80) {
+              key += static_cast<char>(code);
+            } else if (code < 0x800) {
+              key += static_cast<char>(0xC0 | (code >> 6));
+              key += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              key += static_cast<char>(0xE0 | (code >> 12));
+              key += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              key += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: key += e;  // unknown escape: keep the char literally
+        }
+      } else {
+        key += text[i++];
+      }
     }
     if (i >= text.size()) break;
     ++i;  // closing quote

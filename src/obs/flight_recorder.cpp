@@ -1,0 +1,227 @@
+// Flight-recorder implementation. The crash path is the whole point of this
+// file: everything reachable from on_fatal_signal() must stay on the
+// async-signal-safe list (POSIX.1: write, open, close, sigaction, raise,
+// _exit, atomic loads) — no allocation, no stdio, no locking. The
+// pre-rendering half (refresh_registry) runs on normal threads and may use
+// anything it likes.
+
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "obs/calibrate.hpp"
+#include "obs/export.hpp"
+
+namespace kpq::obs {
+
+namespace {
+
+constexpr int fatal_signals[] = {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL};
+constexpr std::size_t n_fatal = sizeof(fatal_signals) / sizeof(fatal_signals[0]);
+struct sigaction previous_actions[n_fatal];
+
+// ---------------------------------------------------- signal-safe formatting
+// A line is assembled in a stack buffer and flushed with one write(); every
+// helper is branch-and-store only.
+
+struct line_buf {
+  char data[512];
+  std::size_t len = 0;
+
+  void put(char c) noexcept {
+    if (len < sizeof(data)) data[len++] = c;
+  }
+  void str(const char* s) noexcept {
+    while (*s != '\0') put(*s++);
+  }
+  void u64(std::uint64_t v) noexcept {
+    char tmp[20];
+    std::size_t n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(tmp[--n]);
+  }
+  void i64(std::int64_t v) noexcept {
+    if (v < 0) {
+      put('-');
+      // Negate via unsigned to survive INT64_MIN.
+      u64(~static_cast<std::uint64_t>(v) + 1);
+    } else {
+      u64(static_cast<std::uint64_t>(v));
+    }
+  }
+  void flush(int fd) noexcept {
+    std::size_t off = 0;
+    while (off < len) {
+      // kpq-block: write(2) may block on a full pipe/slow disk — acceptable,
+      // the process is crashing and this is the post-mortem path.
+      const ssize_t w = ::write(fd, data + off, len - off);
+      if (w <= 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+    len = 0;
+  }
+};
+
+}  // namespace
+
+flight_recorder& flight_recorder::instance() noexcept {
+  static flight_recorder inst;
+  return inst;
+}
+
+void flight_recorder::arm(const flight_recorder_config& cfg, trace_domain* dom,
+                          const registry* reg) {
+  dom_ = dom;
+  reg_ = reg;
+  last_n_ = cfg.last_n_per_thread;
+  std::strncpy(path_, cfg.path, sizeof(path_) - 1);
+  path_[sizeof(path_) - 1] = '\0';
+  tick_hz_u64_ = static_cast<std::uint64_t>(calibrate_ticks().tick_hz);
+  if (reg_ != nullptr) refresh_registry();
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &flight_recorder::on_fatal_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  for (std::size_t i = 0; i < n_fatal; ++i) {
+    sigaction(fatal_signals[i], &sa, &previous_actions[i]);
+  }
+  // kpq-order: release pairs-with the acquire in armed() — publishing the
+  // armed flag after every config field above is written
+  armed_.store(true, std::memory_order_release);
+}
+
+void flight_recorder::disarm() noexcept {
+  // kpq-order: release pairs-with the acquire in armed()
+  armed_.store(false, std::memory_order_release);
+  for (std::size_t i = 0; i < n_fatal; ++i) {
+    sigaction(fatal_signals[i], &previous_actions[i], nullptr);
+  }
+}
+
+void flight_recorder::refresh_registry() {
+  if (reg_ == nullptr) return;
+  // kpq-order: relaxed pairs-with none (single renderer at a time by
+  // contract — the pump thread; the publish below is the synchronizing edge)
+  const int active = reg_active_.load(std::memory_order_relaxed);
+  const int next = active == 0 ? 1 : 0;
+  rendered_registry& rb = regbuf_[next];
+  rb.len = 0;
+  const metrics_snapshot snap = reg_->snapshot();
+  for (const metric& m : snap) {
+    const std::string line = "{\"metric\":\"" + json_escape(m.name) +
+                             "\",\"value\":" + format_number(m.value) + "}\n";
+    if (rb.len + line.size() > registry_buf_bytes) break;
+    std::memcpy(rb.data + rb.len, line.data(), line.size());
+    rb.len += line.size();
+  }
+  // kpq-order: release pairs-with the acquire load in write_dump() — the
+  // handler must see the buffer contents written above
+  reg_active_.store(next, std::memory_order_release);
+}
+
+bool flight_recorder::dump_now(const char* reason) noexcept {
+  if (!armed()) return false;
+  return write_dump(reason);
+}
+
+void flight_recorder::on_fatal_signal(int sig) noexcept {
+  flight_recorder& self = instance();
+  // kpq-order: acq_rel pairs-with itself across threads/reentry — exactly
+  // one dump attempt even if several threads crash at once
+  if (!self.dumping_.exchange(true, std::memory_order_acq_rel)) {
+    const char* reason = "signal";
+    switch (sig) {
+      case SIGABRT: reason = "SIGABRT"; break;
+      case SIGSEGV: reason = "SIGSEGV"; break;
+      case SIGBUS: reason = "SIGBUS"; break;
+      case SIGFPE: reason = "SIGFPE"; break;
+      case SIGILL: reason = "SIGILL"; break;
+      default: break;
+    }
+    self.write_dump(reason);
+  }
+  // Re-deliver with the default disposition so the exit status / core dump
+  // behave as if the recorder were never installed.
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+bool flight_recorder::write_dump(const char* reason) noexcept {
+  // kpq-block: open(2) on the crash path — blocking is acceptable here, the
+  // alternative is losing the post-mortem entirely.
+  const int fd = ::open(path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  line_buf lb;
+
+  // Header (raw dump form, obs/timeline.hpp): tick rate + total drop count.
+  std::uint64_t dropped = 0;
+  const std::uint32_t n = dom_ != nullptr ? dom_->max_threads() : 0;
+  for (std::uint32_t t = 0; t < n; ++t) {
+    if (const trace_ring* r = dom_->ring_ptr(t)) dropped += r->dropped();
+  }
+  lb.str("{\"kpq_trace_raw\":1,\"tick_hz\":");
+  lb.u64(tick_hz_u64_);
+  lb.str(",\"dropped\":");
+  lb.u64(dropped);
+  lb.str(",\"reason\":\"");
+  lb.str(reason);
+  lb.str("\"}\n");
+  lb.flush(fd);
+
+  // Last-N events per thread. Rings of other threads may still be written
+  // concurrently — torn tail events are acceptable in a post-mortem.
+  for (std::uint32_t t = 0; t < n; ++t) {
+    const trace_ring* r = dom_->ring_ptr(t);
+    if (r == nullptr) continue;
+    const std::uint64_t w = r->written();
+    std::uint64_t keep = last_n_ < r->capacity() ? last_n_ : r->capacity();
+    if (keep > w) keep = w;
+    for (std::uint64_t seq = w - keep; seq < w; ++seq) {
+      const trace_event& e = r->peek(seq);
+      lb.str("{\"ts\":");
+      lb.u64(e.ts);
+      lb.str(",\"tid\":");
+      lb.u64(e.tid);
+      lb.str(",\"kind\":");
+      lb.u64(static_cast<std::uint64_t>(e.kind));
+      lb.str(",\"kind_name\":\"");
+      lb.str(trace_kind_name(e.kind));
+      lb.str("\",\"phase\":");
+      lb.i64(e.phase);
+      lb.str(",\"aux\":");
+      lb.u64(e.aux);
+      lb.str("}\n");
+      lb.flush(fd);
+    }
+  }
+
+  // Pre-rendered registry snapshot (whole-buffer write; the renderer
+  // published it with release, we acquire here).
+  // kpq-order: acquire pairs-with the release store in refresh_registry()
+  const int active = reg_active_.load(std::memory_order_acquire);
+  if (active >= 0) {
+    const rendered_registry& rb = regbuf_[active];
+    std::size_t off = 0;
+    while (off < rb.len) {
+      // kpq-block: write(2), see line_buf::flush.
+      const ssize_t w = ::write(fd, rb.data + off, rb.len - off);
+      if (w <= 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+  }
+
+  ::close(fd);
+  return true;
+}
+
+}  // namespace kpq::obs

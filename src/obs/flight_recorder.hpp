@@ -1,0 +1,102 @@
+// Crash flight recorder: when the process dies on a fatal signal, dump the
+// last-N trace events of every thread plus a registry snapshot to a
+// post-mortem file — the "what happened in the last millisecond" answer a
+// drain-at-quiescence pipeline cannot give, because a crashed process never
+// reaches quiescence.
+//
+// Signal-safety contract (docs/OBSERVABILITY.md "Pipeline"):
+//
+//   * The handler uses ONLY async-signal-safe primitives: open/write/close
+//     plus hand-rolled integer formatting. No malloc, no stdio, no locks,
+//     no std::string.
+//   * Trace rings are readable from the handler by construction: ring slots
+//     are atomic pointers (trace_domain::ring_ptr), ring buffers are
+//     preallocated, and peek()/written() are lock-free loads. Events from
+//     OTHER threads may be mid-overwrite — a torn event is possible and
+//     acceptable in a post-mortem (the dump is best-effort by nature).
+//   * The registry cannot be walked in a handler (collectors allocate), so
+//     refresh_registry() pre-renders the snapshot into a double buffer from
+//     a NORMAL thread — the telemetry pump does this every scrape — and the
+//     handler just writes whichever buffer was last published.
+//
+// Dump format: the raw JSONL form of obs/timeline.hpp (header line, one
+// event line per retained event, one {"metric":...} line per registry
+// gauge). scripts/trace_view.py converts it to a Perfetto timeline.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/registry.hpp"
+#include "obs/trace_ring.hpp"
+
+namespace kpq::obs {
+
+struct flight_recorder_config {
+  /// Post-mortem file path; truncated and rewritten on each dump.
+  const char* path = "kpq_flight.dump";
+  /// Events retained per thread (clamped to the ring capacity).
+  std::size_t last_n_per_thread = 256;
+};
+
+/// Process-wide singleton (signal dispositions are process-wide state).
+/// arm() from startup code; thread-safe to query, NOT to arm concurrently.
+class flight_recorder {
+ public:
+  static flight_recorder& instance() noexcept;
+
+  /// Install handlers for SIGABRT/SIGSEGV/SIGBUS/SIGFPE/SIGILL and remember
+  /// the trace domain + registry to dump. Calibrates the tick rate (blocks
+  /// ~10 ms) and pre-renders an initial registry snapshot.
+  void arm(const flight_recorder_config& cfg, trace_domain* dom,
+           const registry* reg = nullptr);
+
+  /// Restore the previous signal dispositions.
+  void disarm() noexcept;
+
+  bool armed() const noexcept {
+    // kpq-order: acquire pairs-with the release store in arm() — an armed
+    // observer must see the config writes that precede it
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  /// Re-render the registry snapshot into the inactive half of the double
+  /// buffer, then publish it. NOT async-signal-safe (collectors allocate);
+  /// call from normal threads — the telemetry pump calls it every scrape so
+  /// a crash dump carries metrics at most one scrape interval stale.
+  void refresh_registry();
+
+  /// Write a dump right now, outside any signal (test/operational hook).
+  /// Uses the same signal-safe writer the handler uses. Returns false if
+  /// not armed or the file could not be opened.
+  bool dump_now(const char* reason) noexcept;
+
+ private:
+  flight_recorder() = default;
+
+  static void on_fatal_signal(int sig) noexcept;
+  bool write_dump(const char* reason) noexcept;
+
+  static constexpr std::size_t registry_buf_bytes = 64 * 1024;
+  struct rendered_registry {
+    char data[registry_buf_bytes];
+    std::size_t len = 0;
+  };
+
+  std::atomic<bool> armed_{false};
+  trace_domain* dom_ = nullptr;
+  const registry* reg_ = nullptr;
+  char path_[512] = {};
+  std::size_t last_n_ = 256;
+  std::uint64_t tick_hz_u64_ = 1'000'000'000;
+
+  /// Double buffer + atomic index: refresh_registry() renders into the
+  /// inactive half and publishes; the handler reads whichever half was
+  /// last published. -1 until the first render.
+  rendered_registry regbuf_[2];
+  std::atomic<int> reg_active_{-1};
+  std::atomic<bool> dumping_{false};  // reentrancy/once guard
+};
+
+}  // namespace kpq::obs

@@ -271,6 +271,47 @@ void append_metrics(metrics_snapshot& out, const std::string& prefix,
   append_value(out, prefix + ".slow_rate", f.slow_rate());
 }
 
+/// Event-loop health (async/event_loop.hpp loop_stats): throughput counters
+/// plus the latency gauges — ready-queue lag (post -> pickup), timer-wheel
+/// slack (deadline -> fire) and the ready-queue high-water mark. Register a
+/// lambda that returns loop.stats() so the copy is taken under the loop's
+/// own lock (scrape-safe by construction).
+template <typename L>
+concept event_loop_stats_like = requires(const L& l) {
+  { l.resumes } -> std::convertible_to<std::uint64_t>;
+  { l.timer_fires } -> std::convertible_to<std::uint64_t>;
+  { l.idle_parks } -> std::convertible_to<std::uint64_t>;
+  { l.spawned } -> std::convertible_to<std::uint64_t>;
+  { l.completed } -> std::convertible_to<std::uint64_t>;
+  { l.ready_lag_ns_max } -> std::convertible_to<std::uint64_t>;
+  { l.timer_slack_ns_max } -> std::convertible_to<std::uint64_t>;
+  { l.max_ready_depth } -> std::convertible_to<std::uint64_t>;
+  { l.mean_ready_lag_ns() } -> std::convertible_to<double>;
+  { l.mean_timer_slack_ns() } -> std::convertible_to<double>;
+};
+
+template <event_loop_stats_like L>
+void append_metrics(metrics_snapshot& out, const std::string& prefix,
+                    const L& l) {
+  append_value(out, prefix + ".resumes", static_cast<double>(l.resumes));
+  append_value(out, prefix + ".timer_fires",
+               static_cast<double>(l.timer_fires));
+  append_value(out, prefix + ".idle_parks",
+               static_cast<double>(l.idle_parks));
+  append_value(out, prefix + ".spawned", static_cast<double>(l.spawned));
+  append_value(out, prefix + ".completed",
+               static_cast<double>(l.completed));
+  append_value(out, prefix + ".ready_lag_ns_mean", l.mean_ready_lag_ns());
+  append_value(out, prefix + ".ready_lag_ns_max",
+               static_cast<double>(l.ready_lag_ns_max));
+  append_value(out, prefix + ".timer_slack_ns_mean",
+               l.mean_timer_slack_ns());
+  append_value(out, prefix + ".timer_slack_ns_max",
+               static_cast<double>(l.timer_slack_ns_max));
+  append_value(out, prefix + ".max_ready_depth",
+               static_cast<double>(l.max_ready_depth));
+}
+
 /// Bench summaries (harness/stats.hpp): exported with the n==0 guard —
 /// a summary that never saw a sample exports all-zero, not NaN.
 template <typename S>

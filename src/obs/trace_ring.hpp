@@ -168,6 +168,14 @@ class trace_ring {
     }
   }
 
+  /// Raw slot access by sequence number (caller derives valid sequences from
+  /// written()/capacity()). No allocation, no locks — usable from a signal
+  /// handler (flight_recorder.cpp); outside a crash the usual quiescence
+  /// caveat applies, a racing owner may be mid-overwrite of the slot.
+  const trace_event& peek(std::uint64_t seq) const noexcept {
+    return buf_[seq & mask_];
+  }
+
   void reset() noexcept { head_.store(0, std::memory_order_release); }
 
  private:
@@ -184,6 +192,15 @@ class trace_domain {
                         std::size_t capacity_per_thread = 1u << 14)
       : capacity_(capacity_per_thread), rings_(max_threads) {}
 
+  ~trace_domain() {
+    for (auto& r : rings_) {
+      delete r.value.load(std::memory_order_acquire);
+    }
+  }
+
+  trace_domain(const trace_domain&) = delete;
+  trace_domain& operator=(const trace_domain&) = delete;
+
   std::uint32_t max_threads() const noexcept {
     return static_cast<std::uint32_t>(rings_.size());
   }
@@ -194,12 +211,23 @@ class trace_domain {
     ring_for(tid).record(kind, tid, phase, aux);
   }
 
-  /// The calling thread's ring (owner-only mutation; lazy init is safe
-  /// because only the owner ever touches its slot's pointer).
+  /// The calling thread's ring (lazy init is race-free because only the
+  /// owner thread ever *stores* to its slot; the store is release so that
+  /// observers taking ring_ptr() from another thread — the flight recorder's
+  /// signal handler — see a fully constructed ring).
   trace_ring& ring_for(std::uint32_t tid) noexcept {
-    auto& slot = rings_[tid].value;
-    if (!slot) slot = std::make_unique<trace_ring>(capacity_);
-    return *slot;
+    trace_ring* r = rings_[tid].value.load(std::memory_order_relaxed);
+    if (r == nullptr) {
+      r = new trace_ring(capacity_);
+      rings_[tid].value.store(r, std::memory_order_release);
+    }
+    return *r;
+  }
+
+  /// Read-only slot access from any thread; null until the owner's first
+  /// record. Allocation-free and lock-free — async-signal-safe.
+  const trace_ring* ring_ptr(std::uint32_t tid) const noexcept {
+    return rings_[tid].value.load(std::memory_order_acquire);
   }
 
   /// All retained events across threads, sorted by timestamp. Quiescence
@@ -209,9 +237,9 @@ class trace_domain {
     std::vector<trace_event> out;
     std::uint64_t dropped = 0;
     for (auto& r : rings_) {
-      if (r.value) {
-        r.value->drain(out);
-        dropped += r.value->dropped();
+      if (const trace_ring* p = r.value.load(std::memory_order_acquire)) {
+        p->drain(out);
+        dropped += p->dropped();
       }
     }
     std::stable_sort(out.begin(), out.end(),
@@ -224,13 +252,13 @@ class trace_domain {
 
   void reset() noexcept {
     for (auto& r : rings_) {
-      if (r.value) r.value->reset();
+      if (trace_ring* p = r.value.load(std::memory_order_acquire)) p->reset();
     }
   }
 
  private:
   std::size_t capacity_;
-  std::vector<padded<std::unique_ptr<trace_ring>>> rings_;
+  std::vector<padded<std::atomic<trace_ring*>>> rings_;
 };
 
 /// Process-global domain the static recorder policy below writes into —

@@ -252,5 +252,49 @@ TEST(EventLoop, CrossThreadPostWakesParkedLoop) {
   EXPECT_EQ(loop.hub().stats().parks, loop.stats().idle_parks);
 }
 
+// ------------------------------------------------------- loop health gauges
+
+task<void> yield_n(event_loop& loop, int n) {
+  for (int i = 0; i < n; ++i) co_await loop.yield();
+}
+
+TEST(EventLoop, HealthGaugesTrackReadyLagAndDepth) {
+  event_loop loop;
+  for (int i = 0; i < 8; ++i) loop.spawn(yield_n(loop, 3));
+  loop.run();
+  const loop_stats s = loop.stats();
+  // 8 coroutines were queued at once at least during the spawn burst.
+  EXPECT_GE(s.max_ready_depth, 8u);
+  EXPECT_GT(s.resumes, 0u);
+  // Lag is measured per resumed handle; the max bounds the mean.
+  EXPECT_GE(static_cast<double>(s.ready_lag_ns_max), s.mean_ready_lag_ns());
+  EXPECT_GE(s.ready_lag_ns_max, 0u);
+}
+
+TEST(EventLoop, HealthGaugesTrackTimerSlack) {
+  event_loop loop;
+  std::vector<char> order;
+  loop.spawn(sleep_then_append(loop, 5ms, order, 'T'));
+  loop.run();
+  const loop_stats s = loop.stats();
+  ASSERT_GE(s.timer_fires, 1u);
+  // The wheel has 1ms ticks and the loop parks until the deadline, so the
+  // fire happens AT or AFTER the deadline — slack is well-defined and the
+  // max bounds the mean.
+  EXPECT_GE(static_cast<double>(s.timer_slack_ns_max),
+            s.mean_timer_slack_ns());
+}
+
+TEST(EventLoop, IdleStatsAreZeroNotGarbage) {
+  event_loop loop;
+  loop.run();  // nothing spawned: drains immediately
+  const loop_stats s = loop.stats();
+  EXPECT_EQ(s.ready_lag_ns_total, 0u);
+  EXPECT_EQ(s.timer_slack_ns_total, 0u);
+  EXPECT_EQ(s.max_ready_depth, 0u);
+  EXPECT_EQ(s.mean_ready_lag_ns(), 0.0);    // resumes == 0 guard
+  EXPECT_EQ(s.mean_timer_slack_ns(), 0.0);  // timer_fires == 0 guard
+}
+
 }  // namespace
 }  // namespace kpq::async

@@ -1,0 +1,47 @@
+// Crash child for obs_flight_test: arms the flight recorder, has two
+// threads record trace events, pre-renders a registry snapshot, then dies
+// on abort(). The parent test asserts the post-mortem dump parses back.
+//
+// argv[1] = dump path. Exits 0 only on setup failure (the expected exit is
+// death by SIGABRT re-raised from the recorder's handler).
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_ring.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) return 0;
+
+  using namespace kpq::obs;
+  static trace_domain domain(4, 1024);
+  static registry reg;
+  static std::uint64_t work_done = 0;
+  reg.add_source("child.work_done", [](metrics_snapshot& out) {
+    append_value(out, "child.work_done", static_cast<double>(work_done));
+  });
+
+  // Two live threads, each with events in its ring (tid 0 and tid 1).
+  std::thread t1([] {
+    for (int i = 0; i < 100; ++i) {
+      domain.record(1, trace_kind::enq_publish, i, 0);
+      domain.record(1, trace_kind::enq_complete, i, 0);
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    domain.record(0, trace_kind::deq_publish, i, 0);
+    domain.record(0, trace_kind::deq_complete, i, 1);
+  }
+  t1.join();
+  work_done = 200;
+
+  flight_recorder_config cfg;
+  cfg.path = argv[1];
+  cfg.last_n_per_thread = 64;
+  flight_recorder::instance().arm(cfg, &domain, &reg);
+  flight_recorder::instance().refresh_registry();
+
+  std::abort();  // SIGABRT -> handler dumps, re-raises, child dies
+}

@@ -1,0 +1,176 @@
+// Crash flight recorder: the in-process dump_now() surface, and the real
+// thing — a child process (obs_flight_crash_child) that aborts with the
+// recorder armed, whose post-mortem dump must parse back to at least one
+// trace event per live thread plus a finite registry snapshot.
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_ring.hpp"
+
+namespace kpq::obs {
+namespace {
+
+std::string tmp_path(const char* stem) {
+  return ::testing::TempDir() + stem;
+}
+
+struct parsed_dump {
+  bool has_header = false;
+  std::uint64_t tick_hz = 0;
+  std::string reason;
+  std::vector<std::pair<std::string, double>> header_fields;
+  std::vector<std::uint64_t> event_tids;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+// The dump is the raw JSONL form (obs/timeline.hpp): a header line, event
+// lines, then {"metric":...} lines. Event/header lines have string values
+// mixed in, so parse field-by-field rather than via parse_flat_json.
+parsed_dump parse_dump(const std::string& path) {
+  parsed_dump d;
+  std::ifstream f(path);
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.find("\"kpq_trace_raw\":1") != std::string::npos) {
+      d.has_header = true;
+      const auto hz = line.find("\"tick_hz\":");
+      if (hz != std::string::npos) {
+        d.tick_hz = std::strtoull(line.c_str() + hz + 10, nullptr, 10);
+      }
+      const auto rs = line.find("\"reason\":\"");
+      if (rs != std::string::npos) {
+        const auto end = line.find('"', rs + 10);
+        d.reason = line.substr(rs + 10, end - rs - 10);
+      }
+    } else if (line.find("\"kind_name\":") != std::string::npos) {
+      const auto t = line.find("\"tid\":");
+      if (t != std::string::npos) {
+        d.event_tids.push_back(
+            std::strtoull(line.c_str() + t + 6, nullptr, 10));
+      }
+    } else if (line.find("\"metric\":\"") != std::string::npos) {
+      const auto ms = line.find("\"metric\":\"");
+      const auto me = line.find('"', ms + 10);
+      const auto vs = line.find("\"value\":");
+      if (me != std::string::npos && vs != std::string::npos) {
+        d.metrics.emplace_back(line.substr(ms + 10, me - ms - 10),
+                               std::strtod(line.c_str() + vs + 8, nullptr));
+      }
+    }
+  }
+  return d;
+}
+
+std::uint64_t count_tid(const parsed_dump& d, std::uint64_t tid) {
+  std::uint64_t n = 0;
+  for (std::uint64_t t : d.event_tids) {
+    if (t == tid) ++n;
+  }
+  return n;
+}
+
+TEST(ObsFlight, DumpNowWritesParseableDump) {
+  const std::string path = tmp_path("kpq_flight_dumpnow.dump");
+  std::remove(path.c_str());
+
+  trace_domain domain(2, 256);
+  registry reg;
+  double gauge = 7.5;
+  reg.add_source("g", [&](metrics_snapshot& out) {
+    append_value(out, "flight.gauge", gauge);
+  });
+  domain.record(0, trace_kind::enq_publish, 3, 0);
+  domain.record(0, trace_kind::enq_complete, 3, 0);
+
+  flight_recorder_config cfg;
+  cfg.path = path.c_str();
+  cfg.last_n_per_thread = 16;
+  flight_recorder& fr = flight_recorder::instance();
+  EXPECT_FALSE(fr.armed());
+  EXPECT_FALSE(fr.dump_now("early"));  // not armed yet
+  fr.arm(cfg, &domain, &reg);
+  EXPECT_TRUE(fr.armed());
+  EXPECT_TRUE(fr.dump_now("test"));
+  fr.disarm();
+  EXPECT_FALSE(fr.armed());
+
+  const parsed_dump d = parse_dump(path);
+  EXPECT_TRUE(d.has_header);
+  EXPECT_GT(d.tick_hz, 0u);
+  EXPECT_EQ(d.reason, "test");
+  EXPECT_EQ(count_tid(d, 0), 2u);
+  ASSERT_EQ(d.metrics.size(), 1u);
+  EXPECT_EQ(d.metrics[0].first, "flight.gauge");
+  EXPECT_EQ(d.metrics[0].second, 7.5);
+  std::remove(path.c_str());
+}
+
+TEST(ObsFlight, LastNClampsTheRetainedWindow) {
+  const std::string path = tmp_path("kpq_flight_lastn.dump");
+  std::remove(path.c_str());
+
+  trace_domain domain(1, 256);
+  for (int i = 0; i < 500; ++i) {
+    domain.record(0, trace_kind::retire, i, 0);
+  }
+
+  flight_recorder_config cfg;
+  cfg.path = path.c_str();
+  cfg.last_n_per_thread = 8;
+  flight_recorder& fr = flight_recorder::instance();
+  fr.arm(cfg, &domain, nullptr);
+  EXPECT_TRUE(fr.dump_now("clamp"));
+  fr.disarm();
+
+  const parsed_dump d = parse_dump(path);
+  EXPECT_EQ(d.event_tids.size(), 8u);
+  std::remove(path.c_str());
+}
+
+#ifdef KPQ_CRASH_CHILD
+TEST(ObsFlight, CrashedChildLeavesParseableDump) {
+  const std::string path = tmp_path("kpq_flight_crash.dump");
+  std::remove(path.c_str());
+
+  const std::string cmd =
+      std::string(KPQ_CRASH_CHILD) + " " + path + " 2>/dev/null";
+  const int rc = std::system(cmd.c_str());
+  // The child dies by the re-raised SIGABRT, not a clean exit.
+  ASSERT_NE(rc, -1);
+  EXPECT_NE(rc, 0);
+
+  const parsed_dump d = parse_dump(path);
+  EXPECT_TRUE(d.has_header);
+  EXPECT_GT(d.tick_hz, 0u);
+  EXPECT_EQ(d.reason, "SIGABRT");
+  // At least one retained event for EACH live thread in the child.
+  EXPECT_GE(count_tid(d, 0), 1u);
+  EXPECT_GE(count_tid(d, 1), 1u);
+  // ...and the pre-rendered registry snapshot with finite values.
+  ASSERT_GE(d.metrics.size(), 1u);
+  bool saw = false;
+  for (const auto& [name, value] : d.metrics) {
+    EXPECT_TRUE(std::isfinite(value)) << name;
+    if (name == "child.work_done") {
+      saw = true;
+      EXPECT_EQ(value, 200.0);
+    }
+  }
+  EXPECT_TRUE(saw);
+  std::remove(path.c_str());
+}
+#endif  // KPQ_CRASH_CHILD
+
+}  // namespace
+}  // namespace kpq::obs

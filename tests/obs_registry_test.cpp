@@ -79,6 +79,42 @@ TEST(ObsRegistry, MemAndReclaimerSources) {
   EXPECT_EQ(m.at("hp.pending"), 0.0);
 }
 
+TEST(ObsRegistry, EventLoopStatsSource) {
+  // Mirror of async::loop_stats (structural concept — no async include).
+  struct fake_loop_stats {
+    std::uint64_t resumes = 10;
+    std::uint64_t timer_fires = 4;
+    std::uint64_t idle_parks = 2;
+    std::uint64_t spawned = 5;
+    std::uint64_t completed = 5;
+    std::uint64_t ready_lag_ns_total = 1000;
+    std::uint64_t ready_lag_ns_max = 300;
+    std::uint64_t timer_slack_ns_total = 800;
+    std::uint64_t timer_slack_ns_max = 500;
+    std::uint64_t max_ready_depth = 7;
+    double mean_ready_lag_ns() const { return 100.0; }
+    double mean_timer_slack_ns() const { return 200.0; }
+  };
+  static_assert(event_loop_stats_like<fake_loop_stats>);
+
+  metrics_snapshot out;
+  append_metrics(out, "loop", fake_loop_stats{});
+  ASSERT_EQ(out.size(), 10u);
+  bool saw_lag = false, saw_depth = false;
+  for (const metric& m : out) {
+    if (m.name == "loop.ready_lag_ns_mean") {
+      saw_lag = true;
+      EXPECT_EQ(m.value, 100.0);
+    }
+    if (m.name == "loop.max_ready_depth") {
+      saw_depth = true;
+      EXPECT_EQ(m.value, 7.0);
+    }
+  }
+  EXPECT_TRUE(saw_lag);
+  EXPECT_TRUE(saw_depth);
+}
+
 TEST(ObsRegistry, SummarySourceGuardsEmpty) {
   running_stats rs;  // never fired
   metrics_snapshot snap;
@@ -149,6 +185,39 @@ TEST(ObsExport, JsonEscapesKeys) {
   const auto parsed = parse_flat_json(json);
   ASSERT_EQ(parsed.size(), 1u);
   EXPECT_EQ(parsed[0].first, "weird\"key\\name");
+}
+
+TEST(ObsExport, ParseFlatJsonUnescapesKeys) {
+  // Regression: the parser used to keep escape sequences raw ("a\"b" parsed
+  // to the three characters a \ " b), breaking json_escape -> parse
+  // round-trips for any key with a quote, backslash or control char.
+  const auto parsed = parse_flat_json(
+      "{\"a\\\"b\":1,\"c\\\\d\":2,\"e\\nf\":3,\"g\\u0041h\":4,"
+      "\"tab\\there\":5}");
+  ASSERT_EQ(parsed.size(), 5u);
+  EXPECT_EQ(parsed[0].first, "a\"b");
+  EXPECT_EQ(parsed[1].first, "c\\d");
+  EXPECT_EQ(parsed[2].first, "e\nf");
+  EXPECT_EQ(parsed[3].first, "gAh");  // \u0041 == 'A'
+  EXPECT_EQ(parsed[4].first, "tab\there");
+}
+
+TEST(ObsExport, ControlCharKeyRoundTripsThroughJson) {
+  // json_escape emits \u00XX for control chars; the parser must decode it.
+  metrics_snapshot snap;
+  append_value(snap, std::string("bell\x07key"), 9.0);
+  const auto parsed = parse_flat_json(to_json(snap));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].first, "bell\x07key");
+  EXPECT_EQ(parsed[0].second, 9.0);
+}
+
+TEST(ObsExport, ParseFlatJsonUnescapesMultibyteCodePoints) {
+  // \u00e9 (é, 2-byte UTF-8) and \u20ac (€, 3-byte UTF-8).
+  const auto parsed = parse_flat_json("{\"caf\\u00e9\":1,\"\\u20ac\":2}");
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].first, "caf\xc3\xa9");
+  EXPECT_EQ(parsed[1].first, "\xe2\x82\xac");
 }
 
 TEST(ObsExport, IntegralValuesPrintWithoutFraction) {
